@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: continuous multi-way joins over a simulated Chord DHT.
+
+This example builds a small RJoin network, registers a relational schema,
+submits a continuous 3-way join in SQL, publishes a handful of tuples and
+prints the answers as they are delivered, together with the network metrics
+the paper measures (traffic, query-processing load, storage load).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import RJoinConfig, RJoinEngine
+
+
+def main() -> None:
+    # 1. Build a simulated Chord network of 32 nodes.
+    engine = RJoinEngine(RJoinConfig(num_nodes=32, seed=7))
+
+    # 2. Register the relational schema (append-only relations).
+    engine.register_relation("orders", ["order_id", "customer", "item"])
+    engine.register_relation("payments", ["order_id", "amount"])
+    engine.register_relation("shipments", ["order_id", "carrier"])
+
+    # 3. Submit a continuous 3-way equi-join: report every order that has
+    #    both a payment and a shipment.
+    handle = engine.submit(
+        "SELECT orders.customer, payments.amount, shipments.carrier "
+        "FROM orders, payments, shipments "
+        "WHERE orders.order_id = payments.order_id "
+        "AND payments.order_id = shipments.order_id"
+    )
+    print(f"registered continuous query {handle.query_id}:")
+    print(f"  {handle.query}\n")
+
+    # 4. Publish tuples from arbitrary nodes of the network.  RJoin rewrites
+    #    the query incrementally as matching tuples arrive.
+    engine.publish("orders", (1001, "ada", "keyboard"))
+    engine.publish("payments", (1001, 59))
+    engine.publish("orders", (1002, "grace", "monitor"))
+    engine.publish("shipments", (1001, "ACME-express"))   # completes order 1001
+    engine.publish("payments", (1002, 249))
+    engine.publish("shipments", (1002, "P2P-freight"))    # completes order 1002
+
+    # 5. Answers are shipped directly to the node that submitted the query.
+    print("answers delivered so far:")
+    for answer in handle.answers:
+        print(f"  {answer.values}   (produced by {answer.producer} "
+              f"at t={answer.produced_at:g})")
+
+    # 6. The engine tracks the same metrics the paper's evaluation reports.
+    summary = engine.metrics_summary()
+    print("\nnetwork metrics:")
+    for key in ("total_messages", "ric_messages", "messages_per_node",
+                "total_qpl", "total_storage", "participating_nodes"):
+        print(f"  {key:>22}: {summary[key]:g}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""RJoin — continuous multi-way equi-joins over Distributed Hash Tables.
+
+A faithful, fully simulated reproduction of *Continuous Multi-Way Joins over
+Distributed Hash Tables* (Idreos, Liarou, Koubarakis — EDBT 2008): the RJoin
+algorithm, the Chord substrate it runs on, the sliding-window / DISTINCT /
+RIC extensions, the baselines it is compared against, and the complete
+experiment harness of the paper's Section 8.
+
+Typical usage::
+
+    from repro import RJoinConfig, RJoinEngine, WindowSpec
+
+    engine = RJoinEngine(RJoinConfig(num_nodes=32, seed=1))
+    engine.register_relation("R", ["a", "b"])
+    engine.register_relation("S", ["c", "d"])
+
+    handle = engine.submit("SELECT R.a, S.d FROM R, S WHERE R.b = S.c")
+    engine.publish("R", (1, 10))
+    engine.publish("S", (10, 99))
+    print(handle.values())           # [(1, 99)]
+
+See ``examples/`` for richer scenarios and ``benchmarks/`` for the harness
+that regenerates every figure of the paper.
+"""
+
+from repro.core.answers import Answer, QueryHandle
+from repro.core.config import RJoinConfig
+from repro.core.engine import RJoinEngine
+from repro.core.reference import ReferenceEngine
+from repro.core.strategy import available_strategies, make_strategy
+from repro.data.schema import AttributeRef, Catalog, RelationSchema
+from repro.data.tuples import Tuple
+from repro.errors import ReproError
+from repro.sql.ast import (
+    Constant,
+    JoinPredicate,
+    Query,
+    SelectionPredicate,
+    WindowSpec,
+)
+from repro.sql.parser import parse_query
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Answer",
+    "AttributeRef",
+    "Catalog",
+    "Constant",
+    "JoinPredicate",
+    "Query",
+    "QueryHandle",
+    "ReferenceEngine",
+    "RelationSchema",
+    "ReproError",
+    "RJoinConfig",
+    "RJoinEngine",
+    "SelectionPredicate",
+    "Tuple",
+    "WindowSpec",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "available_strategies",
+    "make_strategy",
+    "parse_query",
+    "__version__",
+]

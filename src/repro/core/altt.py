@@ -1,0 +1,106 @@
+"""Attribute-level tuple table (ALTT) — Section 4.
+
+Without further care RJoin can lose answers when messages are delayed: a
+tuple may reach the attribute-level node *before* the input query that it
+should trigger.  The paper's fix is local: every node keeps tuples received
+at the attribute level in a dedicated table (the ALTT) for ``Δ`` time units,
+and whenever an input query arrives the node first searches the ALTT for
+matching tuples published at or after the query's insertion time.
+
+``Δ`` may be infinite (tuples are never discarded — also useful to support
+one-time queries), or an overestimate of the maximum message transit time,
+which is what the eventual-completeness theorem requires.  The engine derives
+a default Δ from the messaging service's bounded per-hop delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.data.tuples import Tuple
+
+
+@dataclass
+class _AlttEntry:
+    tuple: Tuple
+    received_at: float
+
+
+class AttributeLevelTupleTable:
+    """Per-node table of recently received attribute-level tuples."""
+
+    def __init__(self, delta: Optional[float] = None):
+        """``delta`` is the retention time Δ; ``None`` means keep forever."""
+        self.delta = delta
+        self._by_key: Dict[str, List[_AlttEntry]] = {}
+        self._stored_total = 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, key_text: str, tup: Tuple, now: float) -> None:
+        """Remember that ``tup`` arrived at attribute-level key ``key_text``."""
+        self._by_key.setdefault(key_text, []).append(
+            _AlttEntry(tuple=tup, received_at=now)
+        )
+        self._stored_total += 1
+
+    def expire(self, now: float) -> int:
+        """Drop entries older than Δ; returns the number of removed entries."""
+        if self.delta is None:
+            return 0
+        cutoff = now - self.delta
+        removed = 0
+        for key in list(self._by_key.keys()):
+            entries = self._by_key[key]
+            kept = [entry for entry in entries if entry.received_at >= cutoff]
+            removed += len(entries) - len(kept)
+            if kept:
+                self._by_key[key] = kept
+            else:
+                del self._by_key[key]
+        return removed
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._by_key.clear()
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def find(
+        self,
+        key_text: str,
+        now: float,
+        published_at_or_after: Optional[float] = None,
+    ) -> List[Tuple]:
+        """Tuples under ``key_text`` that are still retained and recent enough.
+
+        ``published_at_or_after`` filters on the publication time, matching
+        the trigger condition ``pubT(t) ≥ insT(q)``.
+        """
+        entries = self._by_key.get(key_text, [])
+        cutoff = None if self.delta is None else now - self.delta
+        result: List[Tuple] = []
+        for entry in entries:
+            if cutoff is not None and entry.received_at < cutoff:
+                continue
+            if (
+                published_at_or_after is not None
+                and entry.tuple.pub_time < published_at_or_after
+            ):
+                continue
+            result.append(entry.tuple)
+        return result
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._by_key.values())
+
+    @property
+    def cumulative_stored(self) -> int:
+        """Total number of tuples ever added to the table."""
+        return self._stored_total

@@ -1,0 +1,130 @@
+"""Configuration of the RJoin engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.sql.ast import WindowSpec
+
+#: Sentinel meaning "derive the ALTT retention Δ from the network's bounded delay".
+AUTO = "auto"
+
+
+@dataclass
+class RJoinConfig:
+    """Tunable parameters of an :class:`~repro.core.engine.RJoinEngine`.
+
+    The defaults favour small, fully deterministic simulations; the
+    experiment harness overrides the network size and strategy per figure.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of DHT nodes in the simulated Chord network.
+    bits:
+        Width of the identifier space in bits.
+    hop_delay:
+        Simulated time units consumed by one routing hop.
+    delay_jitter:
+        Extra random per-message delay in ``[0, delay_jitter]`` (used to
+        exercise the ALTT machinery with out-of-order deliveries).
+    strategy:
+        Indexing strategy name: ``rjoin``, ``random``, ``worst`` or ``first``.
+    allow_attribute_level_rewrites:
+        Whether rewritten queries may also be indexed at the attribute level
+        (candidate family (a) of Section 6).  Attribute-level rewritten
+        queries only see tuples that arrive *after* them (plus the ALTT), so
+        enabling the family trades exactness for the larger plan space the
+        paper explores; the experiment harness enables it, the library
+        default keeps it off so that RJoin delivers exactly the reference
+        bag of answers.
+    altt_delta:
+        Retention Δ of the attribute-level tuple table: ``"auto"`` derives a
+        safe overestimate from the messaging delay bound, ``None`` keeps
+        tuples forever, a number sets Δ explicitly.
+    count_altt_in_storage:
+        Whether ALTT entries count towards the storage-load metric.
+    ric_window:
+        Horizon (in simulated time) of the per-key arrival counting used as
+        RIC information; ``None`` counts arrivals since the beginning.
+    ric_freshness:
+        Maximum age of a cached candidate-table entry before the candidate
+        node is asked again; ``None`` caches forever.
+    tuple_gc_window:
+        When every continuous query of the run uses the same sliding window,
+        stored tuples older than this window can be garbage collected; the
+        experiment harness sets it to the workload window.
+    gc_every_tuples:
+        How often (in published tuples) the engine sweeps stores for
+        window-expired state.
+    id_movement:
+        Enables the lower-layer id-movement load balancing (Figure 9).
+    rebalance_every_tuples:
+        How often (in published tuples) the balancer runs when enabled.
+    light_load_factor:
+        Nodes below ``light_load_factor * average load`` are candidates to be
+        moved next to overloaded nodes.
+    seed:
+        Seed of every random choice made by the engine (node placement,
+        random strategy, owner/publisher selection).
+    max_events_per_publish:
+        Optional guard on the number of simulation events a single tuple
+        publication may trigger (protects tests from runaway cascades).
+    """
+
+    num_nodes: int = 64
+    bits: int = 48
+    hop_delay: float = 1.0
+    delay_jitter: float = 0.0
+    strategy: str = "rjoin"
+    allow_attribute_level_rewrites: bool = False
+    altt_delta: Union[str, float, None] = AUTO
+    count_altt_in_storage: bool = False
+    ric_window: Optional[float] = None
+    ric_freshness: Optional[float] = None
+    tuple_gc_window: Optional[WindowSpec] = None
+    gc_every_tuples: int = 50
+    id_movement: bool = False
+    rebalance_every_tuples: int = 100
+    light_load_factor: float = 0.5
+    seed: int = 0
+    max_events_per_publish: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive")
+        if self.bits <= 0 or self.bits > 160:
+            raise ConfigurationError("bits must be in (0, 160]")
+        if self.hop_delay < 0 or self.delay_jitter < 0:
+            raise ConfigurationError("delays must be non-negative")
+        if isinstance(self.altt_delta, str) and self.altt_delta != AUTO:
+            raise ConfigurationError(
+                f"altt_delta must be a number, None or {AUTO!r}"
+            )
+        if isinstance(self.altt_delta, (int, float)) and self.altt_delta < 0:
+            raise ConfigurationError("altt_delta must be non-negative")
+        if self.ric_window is not None and self.ric_window <= 0:
+            raise ConfigurationError("ric_window must be positive")
+        if self.ric_freshness is not None and self.ric_freshness < 0:
+            raise ConfigurationError("ric_freshness must be non-negative")
+        if self.gc_every_tuples <= 0:
+            raise ConfigurationError("gc_every_tuples must be positive")
+        if self.rebalance_every_tuples <= 0:
+            raise ConfigurationError("rebalance_every_tuples must be positive")
+        if not 0 < self.light_load_factor <= 1:
+            raise ConfigurationError("light_load_factor must be in (0, 1]")
+
+    def resolve_altt_delta(self, max_transit_delay: float) -> Optional[float]:
+        """Translate the configured Δ into a concrete retention time.
+
+        ``"auto"`` uses four times the maximum message transit delay, which
+        comfortably satisfies the requirement of the eventual-completeness
+        theorem (Δ must be at least one maximum transit time).
+        """
+        if self.altt_delta == AUTO:
+            return 4.0 * max_transit_delay if max_transit_delay > 0 else None
+        if self.altt_delta is None:
+            return None
+        return float(self.altt_delta)

@@ -1,0 +1,399 @@
+"""The public RJoin engine facade.
+
+:class:`RJoinEngine` assembles the whole system: the Chord ring, the
+discrete-event kernel, the messaging API with traffic accounting, one
+:class:`~repro.core.node.RJoinNode` per DHT node, the indexing strategy, and
+the answer registry.  Library users interact with three operations:
+
+* :meth:`RJoinEngine.submit` — register a continuous query (SQL text or a
+  parsed :class:`~repro.sql.ast.Query`) and obtain a
+  :class:`~repro.core.answers.QueryHandle` that accumulates its answers,
+* :meth:`RJoinEngine.publish` — insert a tuple into the network,
+* :meth:`RJoinEngine.run` — drain the simulated network (deliver every
+  pending message).
+
+Metrics (network traffic, query-processing load, storage load) are available
+at any time through :attr:`traffic`, :attr:`loads` and
+:meth:`metrics_summary`, matching the definitions of the paper's Section 8.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.core.answers import Answer, QueryHandle
+from repro.core.config import RJoinConfig
+from repro.core.keys import tuple_index_keys
+from repro.core.node import NodeContext, RJoinNode
+from repro.core.protocol import AnswerMessage, QueryState
+from repro.core.strategy import IndexingStrategy, make_strategy
+from repro.data.schema import Catalog, RelationSchema
+from repro.data.tuples import Tuple
+from repro.dht.api import DHTMessagingService
+from repro.dht.chord import ChordRing
+from repro.dht.hashing import IdentifierSpace
+from repro.dht.loadbalance import IdMovementBalancer
+from repro.errors import (
+    EngineError,
+    QueryRegistrationError,
+    UnknownRelationError,
+)
+from repro.metrics.collectors import LoadTracker
+from repro.net.simulator import SimulationKernel
+from repro.net.stats import TrafficStats
+from repro.sql.ast import Query, WindowSpec
+from repro.sql.parser import parse_query
+
+
+class RJoinEngine:
+    """A simulated DHT network running the RJoin algorithm."""
+
+    def __init__(
+        self,
+        config: Optional[RJoinConfig] = None,
+        catalog: Optional[Catalog] = None,
+        strategy: Optional[IndexingStrategy] = None,
+    ):
+        self.config = config or RJoinConfig()
+        self.catalog = catalog or Catalog()
+        self._rng = random.Random(self.config.seed)
+
+        # Substrates -------------------------------------------------------
+        self.space = IdentifierSpace(self.config.bits)
+        self.kernel = SimulationKernel()
+        self.traffic = TrafficStats()
+        self.loads = LoadTracker()
+        self.ring = ChordRing.create_network(
+            self.config.num_nodes, space=self.space, seed=self.config.seed
+        )
+        self.api = DHTMessagingService(
+            ring=self.ring,
+            kernel=self.kernel,
+            traffic=self.traffic,
+            hop_delay=self.config.hop_delay,
+            delay_jitter=self.config.delay_jitter,
+            rng=random.Random(self.config.seed + 1),
+        )
+        self.strategy = strategy or make_strategy(self.config.strategy)
+
+        # Application layer --------------------------------------------------
+        altt_delta = self.config.resolve_altt_delta(self.api.max_transit_delay())
+        self._context = NodeContext(
+            api=self.api,
+            space=self.space,
+            config=self.config,
+            strategy=self.strategy,
+            loads=self.loads,
+            catalog=self.catalog,
+            rng=random.Random(self.config.seed + 2),
+            clock=lambda: self.kernel.now,
+            sequence_clock=lambda: self._sequence,
+            rate_oracle=self._oracle_rate,
+            collect_answer=self._collect_answer,
+            altt_delta=altt_delta,
+        )
+        self.nodes: Dict[str, RJoinNode] = {}
+        for chord_node in self.ring.nodes:
+            rjoin_node = RJoinNode(chord_node.address, self._context)
+            self.nodes[chord_node.address] = rjoin_node
+            self.api.register_handler(chord_node.address, rjoin_node.handle_envelope)
+
+        # Load balancing -------------------------------------------------------
+        self.balancer: Optional[IdMovementBalancer] = None
+        if self.config.id_movement:
+            self.balancer = IdMovementBalancer(
+                self.ring, light_load_factor=self.config.light_load_factor
+            )
+
+        # Bookkeeping -------------------------------------------------------
+        self._handles: Dict[str, QueryHandle] = {}
+        self._query_counter = 0
+        self._sequence = 0
+        self._published = 0
+        self._oracle_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # schema management
+    # ------------------------------------------------------------------
+    def register_relation(
+        self, name: str, attributes: Sequence[str]
+    ) -> RelationSchema:
+        """Register a relation schema with the engine's catalog."""
+        return self.catalog.add_relation(name, attributes)
+
+    def register_catalog(self, catalog: Catalog) -> None:
+        """Merge every schema of ``catalog`` into the engine's catalog."""
+        for schema in catalog:
+            self.catalog.add(schema)
+
+    # ------------------------------------------------------------------
+    # continuous queries
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: Union[str, Query],
+        owner: Optional[str] = None,
+        window: Optional[WindowSpec] = None,
+        process: bool = True,
+    ) -> QueryHandle:
+        """Submit a continuous query and return its :class:`QueryHandle`.
+
+        Parameters
+        ----------
+        query:
+            SQL text or an already built :class:`~repro.sql.ast.Query`.
+        owner:
+            Address of the submitting node; a random node is used by default.
+        window:
+            Optional sliding-window specification overriding the query's own.
+        process:
+            Whether to drain the network immediately (deliver the indexing
+            messages).  Batch callers can pass ``False`` and call
+            :meth:`run` once at the end.
+        """
+        if isinstance(query, str):
+            parsed = parse_query(query, catalog=self.catalog)
+        else:
+            parsed = query.validate(self.catalog if len(self.catalog) else None)
+        if window is not None:
+            parsed = parsed.with_window(window)
+        if owner is None:
+            owner = self._rng.choice(self.ring.addresses)
+        elif owner not in self.nodes:
+            raise QueryRegistrationError(f"unknown owner node {owner!r}")
+
+        self._query_counter += 1
+        query_id = f"{owner}#{self._query_counter}"
+        insertion_time = self.kernel.now
+        handle = QueryHandle(
+            query_id=query_id,
+            query=parsed,
+            owner=owner,
+            insertion_time=insertion_time,
+        )
+        self._handles[query_id] = handle
+        state = QueryState(
+            query_id=query_id,
+            owner=owner,
+            query=parsed,
+            insertion_time=insertion_time,
+            is_input=True,
+        )
+        self.nodes[owner].submit_query(state)
+        if process:
+            self.run()
+        return handle
+
+    # ------------------------------------------------------------------
+    # tuple publication
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        relation: str,
+        values: Sequence[object],
+        publisher: Optional[str] = None,
+        process: bool = True,
+    ) -> Tuple:
+        """Publish a tuple of ``relation`` into the network (Procedure 1)."""
+        if relation not in self.catalog:
+            raise UnknownRelationError(
+                f"relation {relation!r} is not registered with the engine"
+            )
+        schema = self.catalog.get(relation)
+        if publisher is None:
+            publisher = self._rng.choice(self.ring.addresses)
+        elif publisher not in self.nodes:
+            raise EngineError(f"unknown publisher node {publisher!r}")
+        self._sequence += 1
+        tup = Tuple.from_schema(
+            schema,
+            values,
+            pub_time=self.kernel.now,
+            sequence=self._sequence,
+            publisher=publisher,
+        )
+        self._record_oracle(tup, schema)
+        self.nodes[publisher].publish_tuple(tup)
+        self._published += 1
+        if process:
+            self.run()
+        self._maybe_gc()
+        self._maybe_rebalance()
+        return tup
+
+    def publish_many(
+        self,
+        rows: Iterable[tuple],
+        process_each: bool = True,
+    ) -> List[Tuple]:
+        """Publish ``(relation, values)`` pairs; returns the created tuples."""
+        published = []
+        for relation, values in rows:
+            published.append(
+                self.publish(relation, values, process=process_each)
+            )
+        if not process_each:
+            self.run()
+        return published
+
+    # ------------------------------------------------------------------
+    # simulation control
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Deliver every pending message; returns the number of events processed."""
+        return self.kernel.run_until_idle(
+            max_events=self.config.max_events_per_publish
+        )
+
+    def tick(self, delta: float = 1.0) -> None:
+        """Advance the simulated clock without publishing anything."""
+        self.kernel.advance_by(delta)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.kernel.now
+
+    @property
+    def published_tuples(self) -> int:
+        """Number of tuples published so far."""
+        return self._published
+
+    # ------------------------------------------------------------------
+    # answers
+    # ------------------------------------------------------------------
+    def _collect_answer(self, message: AnswerMessage, delivered_at: float) -> None:
+        handle = self._handles.get(message.query_id)
+        if handle is None:
+            return
+        handle.add_answer(
+            Answer(
+                query_id=message.query_id,
+                values=message.values,
+                produced_at=message.produced_at,
+                delivered_at=delivered_at,
+                producer=message.producer,
+            )
+        )
+
+    @property
+    def handles(self) -> Mapping[str, QueryHandle]:
+        """All submitted queries, keyed by query id."""
+        return dict(self._handles)
+
+    def handle(self, query_id: str) -> QueryHandle:
+        """The handle of a previously submitted query."""
+        try:
+            return self._handles[query_id]
+        except KeyError:
+            raise EngineError(f"unknown query id {query_id!r}") from None
+
+    @property
+    def total_answers(self) -> int:
+        """Total answers delivered across every submitted query."""
+        return sum(handle.count for handle in self._handles.values())
+
+    # ------------------------------------------------------------------
+    # rate oracle (used by the Worst baseline and by tests)
+    # ------------------------------------------------------------------
+    def _record_oracle(self, tup: Tuple, schema: RelationSchema) -> None:
+        for key in tuple_index_keys(tup, schema):
+            self._oracle_counts[key.text] = self._oracle_counts.get(key.text, 0) + 1
+
+    def _oracle_rate(self, key_text: str) -> float:
+        return float(self._oracle_counts.get(key_text, 0))
+
+    # ------------------------------------------------------------------
+    # garbage collection and load balancing hooks
+    # ------------------------------------------------------------------
+    def _maybe_gc(self) -> None:
+        if self._published % self.config.gc_every_tuples != 0:
+            return
+        if self.config.tuple_gc_window is None:
+            return
+        for node in self.nodes.values():
+            node.gc_expired_state()
+
+    def _maybe_rebalance(self) -> None:
+        if self.balancer is None:
+            return
+        if self._published % self.config.rebalance_every_tuples != 0:
+            return
+        self.rebalance()
+
+    def rebalance(self) -> int:
+        """Run one id-movement balancing round; returns the number of moves."""
+        if self.balancer is None:
+            raise EngineError("id movement is disabled in this configuration")
+        self.run()  # do not move nodes while messages are in flight
+        loads = {
+            address: float(
+                node.current_storage_items
+                + self.loads.node(address).query_processing_load
+            )
+            for address, node in self.nodes.items()
+        }
+        moves = self.balancer.rebalance(loads)
+        if moves:
+            self._rehome_state()
+        return len(moves)
+
+    def _rehome_state(self) -> None:
+        """After id movement, move stored items to their new owners."""
+
+        def owner_of(key_text: str) -> str:
+            return self.ring.owner_of_key(key_text).address
+
+        pending = []
+        for node in self.nodes.values():
+            pending.extend(node.extract_misplaced(owner_of))
+        for item in pending:
+            self.nodes[owner_of(item.key_text)].accept_rehomed(item)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def storage_distribution(self, current: bool = True) -> List[int]:
+        """Per-node storage load, sorted decreasing.
+
+        ``current=True`` reads the live node state (reflecting garbage
+        collection and id movement); ``current=False`` returns the cumulative
+        storage load recorded by the load tracker.
+        """
+        if current:
+            return sorted(
+                (node.current_storage_items for node in self.nodes.values()),
+                reverse=True,
+            )
+        return self.loads.ranked_storage_load()
+
+    def qpl_distribution(self) -> List[int]:
+        """Per-node query-processing load, sorted decreasing."""
+        return self.loads.ranked_query_processing_load()
+
+    def metrics_summary(self) -> Dict[str, float]:
+        """A flat summary of the paper's three metrics plus answer counts."""
+        num_nodes = len(self.ring)
+        return {
+            "nodes": float(num_nodes),
+            "published_tuples": float(self._published),
+            "submitted_queries": float(len(self._handles)),
+            "total_messages": float(self.traffic.total_messages),
+            "ric_messages": float(self.traffic.total_ric_messages),
+            "messages_per_node": self.traffic.messages_per_node(num_nodes),
+            "ric_messages_per_node": self.traffic.ric_messages_per_node(num_nodes),
+            "total_qpl": float(self.loads.total_query_processing_load),
+            "qpl_per_node": self.loads.qpl_per_node(num_nodes),
+            "total_storage": float(self.loads.total_storage_load),
+            "storage_per_node": self.loads.storage_per_node(num_nodes),
+            "current_storage": float(self.loads.total_current_storage),
+            "answers": float(self.total_answers),
+            "participating_nodes": float(self.loads.participating_nodes()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RJoinEngine(nodes={len(self.ring)}, strategy={self.strategy.name}, "
+            f"queries={len(self._handles)}, tuples={self._published})"
+        )

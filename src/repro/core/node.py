@@ -1,0 +1,635 @@
+"""Per-node RJoin protocol logic (Procedures 1–3 plus Sections 4–7 extensions).
+
+Every DHT node of the simulated network hosts one :class:`RJoinNode` — the
+application-layer state and the handlers for every protocol message:
+
+* publishing a tuple (Procedure 1): the tuple is sent, for each of its
+  attributes, to the attribute-level key and to the value-level key,
+* receiving a tuple (Procedure 2): locally stored queries indexed under the
+  arrival key are triggered, rewritten and re-indexed (or answered); tuples
+  arriving at the value level are stored locally, tuples arriving at the
+  attribute level are remembered in the ALTT for Δ time units,
+* receiving an input query: it is stored at the attribute level and matched
+  against the ALTT (the Section 4 fix for message delays),
+* receiving a rewritten query (Procedure 3): it is stored and matched against
+  the locally stored tuples,
+* RIC requests/replies (Section 6) and the candidate-table/piggy-backing
+  optimisations (Section 7),
+* sliding-window garbage collection (Section 5) and DISTINCT projection
+  tracking (Section 4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple as TupleT
+
+from repro.core.altt import AttributeLevelTupleTable
+from repro.core.dedup import ProjectionTracker
+from repro.core.keys import ATTRIBUTE_LEVEL, IndexKey, tuple_index_keys
+from repro.core.protocol import (
+    AnswerMessage,
+    EvalMessage,
+    IndexQueryMessage,
+    NewTupleMessage,
+    QueryState,
+    RicReplyMessage,
+    RicRequestMessage,
+)
+from repro.core.rewriting import rewrite_query
+from repro.core.ric import CandidateTable, RateTracker, RicEntry
+from repro.core.strategy import (
+    IndexingStrategy,
+    input_query_candidates,
+    rewritten_query_candidates,
+)
+from repro.core.windows import admits, expired, extend, tuple_expired
+from repro.core.config import RJoinConfig
+from repro.data.schema import Catalog
+from repro.data.store import StoredTuple, TupleStore
+from repro.data.tuples import Tuple
+from repro.dht.api import DHTMessagingService
+from repro.dht.hashing import IdentifierSpace
+from repro.metrics.collectors import LoadTracker
+from repro.net.messages import Envelope
+from repro.sql.ast import WindowSpec
+
+
+@dataclass
+class NodeContext:
+    """Engine-provided services shared by every :class:`RJoinNode`."""
+
+    api: DHTMessagingService
+    space: IdentifierSpace
+    config: RJoinConfig
+    strategy: IndexingStrategy
+    loads: LoadTracker
+    catalog: Catalog
+    rng: random.Random
+    clock: Callable[[], float]
+    sequence_clock: Callable[[], int]
+    rate_oracle: Callable[[str], float]
+    collect_answer: Callable[[AnswerMessage, float], None]
+    altt_delta: Optional[float] = None
+
+
+@dataclass
+class StoredQueryRecord:
+    """A (rewritten or input) query stored at a node, with local bookkeeping."""
+
+    state: QueryState
+    key: IndexKey
+    stored_at: float
+    tracker: Optional[ProjectionTracker] = None
+
+
+@dataclass
+class _PendingIndexOp:
+    """An indexing decision waiting for RIC information to come back."""
+
+    state: QueryState
+    is_input: bool
+    candidates: List[IndexKey]
+    known: Dict[str, RicEntry]
+
+
+@dataclass
+class RehomedItem:
+    """A stored item that must move to another node after id movement."""
+
+    kind: str                     # "input" | "rewritten" | "tuple" | "altt"
+    key_text: str
+    payload: object
+
+
+class RJoinNode:
+    """The application-layer state and handlers of one DHT node."""
+
+    def __init__(self, address: str, ctx: NodeContext):
+        self.address = address
+        self.ctx = ctx
+        # Stored state ----------------------------------------------------
+        self.input_queries: Dict[str, List[StoredQueryRecord]] = {}
+        self.rewritten_queries: Dict[str, List[StoredQueryRecord]] = {}
+        self.tuple_store = TupleStore()
+        self.altt = AttributeLevelTupleTable(delta=ctx.altt_delta)
+        # RIC state ---------------------------------------------------------
+        self.rates = RateTracker(window=ctx.config.ric_window)
+        self.candidate_table = CandidateTable(freshness=ctx.config.ric_freshness)
+        self._pending_ric: Dict[str, _PendingIndexOp] = {}
+        self._ric_counter = 0
+        # Local counters ------------------------------------------------------
+        self.answers_sent = 0
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def handle_envelope(self, envelope: Envelope) -> None:
+        """Entry point registered with the messaging service."""
+        message = envelope.message
+        if isinstance(message, NewTupleMessage):
+            self._on_new_tuple(message)
+        elif isinstance(message, EvalMessage):
+            self._on_eval(message)
+        elif isinstance(message, IndexQueryMessage):
+            self._on_index_query(message)
+        elif isinstance(message, RicRequestMessage):
+            self._on_ric_request(message)
+        elif isinstance(message, RicReplyMessage):
+            self._on_ric_reply(message)
+        elif isinstance(message, AnswerMessage):
+            self._on_answer(message)
+        # Unknown messages are silently ignored (forward compatibility).
+
+    # ------------------------------------------------------------------
+    # Procedure 1: publishing a tuple
+    # ------------------------------------------------------------------
+    def publish_tuple(self, tup: Tuple) -> int:
+        """Index ``tup`` in the network: twice per attribute (attribute + value level).
+
+        Returns the number of messages handed to ``multiSend``.
+        """
+        schema = self.ctx.catalog.get(tup.relation)
+        keys = tuple_index_keys(tup, schema)
+        messages = [
+            NewTupleMessage(tuple=tup, key=key, publisher=self.address) for key in keys
+        ]
+        identifiers = [self.ctx.space.hash_key(key.text) for key in keys]
+        self.ctx.api.multi_send(self.address, messages, identifiers)
+        return len(messages)
+
+    # ------------------------------------------------------------------
+    # query submission (invoked on the owner node by the engine)
+    # ------------------------------------------------------------------
+    def submit_query(self, state: QueryState) -> None:
+        """Start indexing an input query submitted by this node."""
+        self._index_query(state, is_input=True)
+
+    # ------------------------------------------------------------------
+    # Procedure 2: receiving a tuple
+    # ------------------------------------------------------------------
+    def _on_new_tuple(self, msg: NewTupleMessage) -> None:
+        now = self.ctx.clock()
+        key = msg.key
+        tup = msg.tuple
+        self.ctx.loads.record_tuple_received(self.address)
+        self.rates.record(key.text, now)
+
+        if key.level == ATTRIBUTE_LEVEL:
+            self._trigger_stored_queries(self.input_queries, key.text, tup)
+            if self.ctx.config.allow_attribute_level_rewrites:
+                self._trigger_stored_queries(self.rewritten_queries, key.text, tup)
+            # Remember the tuple for input queries that are still in flight
+            # (Section 4); entries expire after Δ.
+            self.altt.add(key.text, tup, now)
+            self.altt.expire(now)
+        else:
+            self._trigger_stored_queries(self.rewritten_queries, key.text, tup)
+            self.tuple_store.add(key.text, tup, now)
+            self.ctx.loads.record_tuple_stored(self.address)
+
+    def _trigger_stored_queries(
+        self,
+        table: Dict[str, List[StoredQueryRecord]],
+        key_text: str,
+        tup: Tuple,
+    ) -> None:
+        """Trigger, rewrite and re-index the queries stored under ``key_text``."""
+        records = table.get(key_text)
+        if not records:
+            return
+        schema = self.ctx.catalog.get(tup.relation)
+        survivors: List[StoredQueryRecord] = []
+        for record in records:
+            window = record.state.query.window
+            # Sliding-window garbage collection: a rewritten query whose
+            # oldest consumed tuple has aged out of the window can never be
+            # satisfied again (Section 5).
+            if not record.state.is_input and window is not None:
+                if expired(window, record.state.window_state, window.clock_of(tup)):
+                    self.ctx.loads.record_query_dropped(self.address)
+                    continue
+            survivors.append(record)
+            self._try_trigger(record, tup, schema)
+        if survivors:
+            table[key_text] = survivors
+        else:
+            table.pop(key_text, None)
+
+    def _try_trigger(self, record: StoredQueryRecord, tup: Tuple, schema) -> None:
+        """Apply the trigger conditions and, if satisfied, rewrite and re-index."""
+        state = record.state
+        if tup.pub_time < state.insertion_time:
+            return  # only tuples published at or after the query's submission
+        window = state.query.window
+        if not admits(window, state.window_state, tup):
+            return
+        if tup.relation not in state.query.relations:
+            return
+        if state.distinct and record.tracker is not None:
+            if not record.tracker.admit_and_record(state.query, tup, schema):
+                return
+        result = rewrite_query(state.query, tup, schema)
+        if result.dead:
+            return
+        assert result.query is not None
+        new_window_state = extend(window, state.window_state, tup)
+        new_state = state.derive(result.query, new_window_state)
+        if result.complete:
+            self._emit_answer(new_state)
+        else:
+            self._index_query(new_state, is_input=False)
+
+    @staticmethod
+    def _make_tracker(state: QueryState) -> Optional[ProjectionTracker]:
+        """Projection tracking applies to DISTINCT queries without windows.
+
+        For windowless DISTINCT queries the paper's local rule is safe: a
+        suppressed tuple can only ever reproduce answer values that the
+        previously seen projection already produces.  With sliding windows
+        the rule could suppress a tuple whose earlier twin expired before
+        completing a combination, losing answers; those queries rely on the
+        owner-side deduplication of :class:`~repro.core.answers.QueryHandle`
+        instead (see DESIGN.md).
+        """
+        if state.distinct and state.query.window is None:
+            return ProjectionTracker()
+        return None
+
+    def _emit_answer(self, state: QueryState) -> None:
+        """Ship an answer directly to the node that submitted the input query."""
+        now = self.ctx.clock()
+        answer = AnswerMessage(
+            query_id=state.query_id,
+            values=state.query.answer_values(),
+            produced_at=now,
+            producer=self.address,
+        )
+        self.answers_sent += 1
+        self.ctx.loads.record_answer(self.address)
+        self.ctx.api.send_direct(self.address, answer, state.owner)
+
+    # ------------------------------------------------------------------
+    # receiving an input query
+    # ------------------------------------------------------------------
+    def _on_index_query(self, msg: IndexQueryMessage) -> None:
+        now = self.ctx.clock()
+        self.ctx.loads.record_input_query_received(self.address)
+        state, key = msg.state, msg.key
+        self.candidate_table.update_many(state.ric_info.values())
+        record = StoredQueryRecord(
+            state=state,
+            key=key,
+            stored_at=now,
+            tracker=self._make_tracker(state),
+        )
+        self.input_queries.setdefault(key.text, []).append(record)
+        # Section 4, rule 2: search the ALTT for tuples that raced past the query.
+        schema_cache: Dict[str, object] = {}
+        for tup in self.altt.find(
+            key.text, now, published_at_or_after=state.insertion_time
+        ):
+            schema = schema_cache.get(tup.relation)
+            if schema is None:
+                schema = self.ctx.catalog.get(tup.relation)
+                schema_cache[tup.relation] = schema
+            self._try_trigger(record, tup, schema)
+
+    # ------------------------------------------------------------------
+    # Procedure 3: receiving a rewritten query
+    # ------------------------------------------------------------------
+    def _on_eval(self, msg: EvalMessage) -> None:
+        now = self.ctx.clock()
+        self.ctx.loads.record_query_received(self.address)
+        state, key = msg.state, msg.key
+        self.candidate_table.update_many(state.ric_info.values())
+
+        record = StoredQueryRecord(
+            state=state,
+            key=key,
+            stored_at=now,
+            tracker=self._make_tracker(state),
+        )
+        # A query whose window can no longer admit *future* tuples is not
+        # stored, but it must still be matched against the tuples already
+        # stored here: those were published in the past and may well complete
+        # a combination that fits the window.
+        window = state.query.window
+        window_open_for_future = window is None or not expired(
+            window, state.window_state, self._window_clock(window)
+        )
+        if window_open_for_future:
+            self.rewritten_queries.setdefault(key.text, []).append(record)
+            self.ctx.loads.record_query_stored(self.address)
+
+        # Match against tuples already stored locally (published after the
+        # input query was submitted but delivered here before this query).
+        matches = self._stored_tuples_for(key)
+        for tup in sorted(matches, key=lambda t: (t.pub_time, t.sequence)):
+            schema = self.ctx.catalog.get(tup.relation)
+            self._try_trigger(record, tup, schema)
+
+    def _stored_tuples_for(self, key: IndexKey) -> List[Tuple]:
+        """Locally stored tuples that can match a query indexed under ``key``."""
+        if key.is_value_level:
+            return self.tuple_store.tuples_for_key(key.text)
+        # Attribute-level rewritten query: scan every value-level copy of the
+        # relation-attribute pair plus the ALTT, deduplicating publications.
+        now = self.ctx.clock()
+        tuples = self.tuple_store.tuples_for_prefix(key.attribute_prefix)
+        seen = {tup.identity for tup in tuples}
+        for tup in self.altt.find(key.text, now):
+            if tup.identity not in seen:
+                seen.add(tup.identity)
+                tuples.append(tup)
+        return tuples
+
+    # ------------------------------------------------------------------
+    # indexing pipeline (Sections 3, 6 and 7)
+    # ------------------------------------------------------------------
+    def _index_query(self, state: QueryState, is_input: bool) -> None:
+        """Decide where to index ``state`` and send it there."""
+        config = self.ctx.config
+        if is_input:
+            candidates = input_query_candidates(state.query)
+        else:
+            candidates = rewritten_query_candidates(
+                state.query,
+                allow_attribute_level=config.allow_attribute_level_rewrites,
+            )
+        if not candidates:
+            # Nothing to wait for (degenerate query): nothing to index.
+            return
+        strategy = self.ctx.strategy
+        now = self.ctx.clock()
+
+        if strategy.requires_ric:
+            known: Dict[str, RicEntry] = {}
+            unknown: List[IndexKey] = []
+            for key in candidates:
+                entry = state.ric_info.get(key.text)
+                if entry is None or not entry.is_fresh(now, config.ric_freshness):
+                    entry = self.candidate_table.lookup(key.text, now)
+                if entry is not None:
+                    known[key.text] = entry
+                else:
+                    unknown.append(key)
+            if unknown:
+                self._start_ric_chain(state, is_input, candidates, known, unknown)
+                return
+            self._finish_indexing(state, is_input, candidates, known)
+            return
+
+        rates: Dict[str, float] = {}
+        if strategy.uses_oracle:
+            rates = {key.text: self.ctx.rate_oracle(key.text) for key in candidates}
+        choice = strategy.choose(candidates, rates, self.ctx.rng)
+        self._send_query(state, is_input, choice, known_address=None)
+
+    def _start_ric_chain(
+        self,
+        state: QueryState,
+        is_input: bool,
+        candidates: List[IndexKey],
+        known: Dict[str, RicEntry],
+        unknown: List[IndexKey],
+    ) -> None:
+        """Ask the candidate nodes we know nothing about for RIC information."""
+        self._ric_counter += 1
+        request_id = f"{self.address}/ric-{self._ric_counter}"
+        self._pending_ric[request_id] = _PendingIndexOp(
+            state=state, is_input=is_input, candidates=candidates, known=dict(known)
+        )
+        first, rest = unknown[0], tuple(unknown[1:])
+        request = RicRequestMessage(
+            request_id=request_id,
+            origin=self.address,
+            target_key=first,
+            pending=rest,
+            collected=(),
+        )
+        self.ctx.api.send(
+            self.address,
+            request,
+            self.ctx.space.hash_key(first.text),
+            is_ric=True,
+        )
+
+    def _on_ric_request(self, msg: RicRequestMessage) -> None:
+        """Report the local arrival rate and forward the chain (Section 6)."""
+        now = self.ctx.clock()
+        entry = RicEntry(
+            key_text=msg.target_key.text,
+            rate=self.rates.rate(msg.target_key.text, now),
+            address=self.address,
+            observed_at=now,
+        )
+        collected = msg.collected + (entry,)
+        if msg.pending:
+            next_key, rest = msg.pending[0], msg.pending[1:]
+            forwarded = RicRequestMessage(
+                request_id=msg.request_id,
+                origin=msg.origin,
+                target_key=next_key,
+                pending=rest,
+                collected=collected,
+            )
+            self.ctx.api.send(
+                self.address,
+                forwarded,
+                self.ctx.space.hash_key(next_key.text),
+                is_ric=True,
+            )
+        else:
+            reply = RicReplyMessage(request_id=msg.request_id, collected=collected)
+            self.ctx.api.send_direct(self.address, reply, msg.origin, is_ric=True)
+
+    def _on_ric_reply(self, msg: RicReplyMessage) -> None:
+        """Complete a pending indexing decision with the freshly gathered rates."""
+        op = self._pending_ric.pop(msg.request_id, None)
+        if op is None:
+            return
+        self.candidate_table.update_many(msg.collected)
+        entries = dict(op.known)
+        for entry in msg.collected:
+            entries[entry.key_text] = entry
+        self._finish_indexing(op.state, op.is_input, op.candidates, entries)
+
+    def _finish_indexing(
+        self,
+        state: QueryState,
+        is_input: bool,
+        candidates: List[IndexKey],
+        entries: Dict[str, RicEntry],
+    ) -> None:
+        """Choose the candidate with the gathered rates and ship the query."""
+        rates = {key_text: entry.rate for key_text, entry in entries.items()}
+        choice = self.ctx.strategy.choose(candidates, rates, self.ctx.rng)
+        # Piggy-back what we know so the next node can reuse it (Section 7).
+        state.ric_info.update(entries)
+        chosen_entry = entries.get(choice.text)
+        known_address = chosen_entry.address if chosen_entry is not None else None
+        self._send_query(state, is_input, choice, known_address)
+
+    def _send_query(
+        self,
+        state: QueryState,
+        is_input: bool,
+        key: IndexKey,
+        known_address: Optional[str],
+    ) -> None:
+        """Transmit the (input or rewritten) query to its chosen node."""
+        if is_input:
+            message = IndexQueryMessage(state=state, key=key)
+        else:
+            message = EvalMessage(state=state, key=key)
+        ring = self.ctx.api.ring
+        # The one-hop shortcut of Section 6 only applies while the cached
+        # candidate address is still responsible for the key; after a node
+        # leaves or moves (id movement), fall back to a regular DHT lookup.
+        if (
+            known_address is not None
+            and ring.has_address(known_address)
+            and ring.owner_of_key(key.text).address == known_address
+        ):
+            self.ctx.api.send_direct(self.address, message, known_address)
+        else:
+            self.ctx.api.send(
+                self.address, message, self.ctx.space.hash_key(key.text)
+            )
+
+    # ------------------------------------------------------------------
+    # answers
+    # ------------------------------------------------------------------
+    def _on_answer(self, msg: AnswerMessage) -> None:
+        """An answer for a query submitted by this node arrived."""
+        self.ctx.collect_answer(msg, self.ctx.clock())
+
+    # ------------------------------------------------------------------
+    # sliding-window / storage garbage collection
+    # ------------------------------------------------------------------
+    def _window_clock(self, window: WindowSpec) -> float:
+        """The current value of a window's clock (time or tuple sequence)."""
+        if window.mode == "time":
+            return self.ctx.clock()
+        return float(self.ctx.sequence_clock())
+
+    def gc_expired_state(self) -> TupleT[int, int]:
+        """Drop window-expired rewritten queries and (optionally) stored tuples.
+
+        Returns ``(queries dropped, tuples dropped)``.  Stored tuples are only
+        collected when the engine configured ``tuple_gc_window`` (i.e. every
+        query of the run shares the same window, so an aged-out tuple can
+        never contribute to any answer again).
+        """
+        queries_dropped = 0
+        for key_text in list(self.rewritten_queries.keys()):
+            kept = []
+            for record in self.rewritten_queries[key_text]:
+                window = record.state.query.window
+                if window is not None and expired(
+                    window, record.state.window_state, self._window_clock(window)
+                ):
+                    queries_dropped += 1
+                    continue
+                kept.append(record)
+            if kept:
+                self.rewritten_queries[key_text] = kept
+            else:
+                self.rewritten_queries.pop(key_text, None)
+        if queries_dropped:
+            self.ctx.loads.record_query_dropped(self.address, queries_dropped)
+
+        tuples_dropped = 0
+        gc_window = self.ctx.config.tuple_gc_window
+        if gc_window is not None:
+            clock_now = self._window_clock(gc_window)
+            for key_text in list(self.tuple_store.keys()):
+                records = self.tuple_store.records_for_key(key_text)
+                expired_records = [
+                    record
+                    for record in records
+                    if tuple_expired(gc_window, record.tuple, clock_now)
+                ]
+                if not expired_records:
+                    continue
+                cutoff = max(record.stored_at for record in expired_records) + 1e-9
+                tuples_dropped += self.tuple_store.remove_older_than(key_text, cutoff)
+            if tuples_dropped:
+                self.ctx.loads.record_tuple_dropped(self.address, tuples_dropped)
+        return queries_dropped, tuples_dropped
+
+    # ------------------------------------------------------------------
+    # id movement support (Figure 9)
+    # ------------------------------------------------------------------
+    def extract_misplaced(
+        self, owner_of: Callable[[str], str]
+    ) -> List[RehomedItem]:
+        """Remove and return stored items whose key is now owned by another node."""
+        items: List[RehomedItem] = []
+
+        def _extract(table: Dict[str, List[StoredQueryRecord]], kind: str) -> None:
+            for key_text in list(table.keys()):
+                if owner_of(key_text) == self.address:
+                    continue
+                for record in table.pop(key_text):
+                    items.append(RehomedItem(kind=kind, key_text=key_text, payload=record))
+
+        _extract(self.input_queries, "input")
+        _extract(self.rewritten_queries, "rewritten")
+
+        for key_text in list(self.tuple_store.keys()):
+            if owner_of(key_text) == self.address:
+                continue
+            for record in self.tuple_store.records_for_key(key_text):
+                items.append(
+                    RehomedItem(kind="tuple", key_text=key_text, payload=record)
+                )
+            self.tuple_store.remove_older_than(key_text, float("inf"))
+        return items
+
+    def accept_rehomed(self, item: RehomedItem) -> None:
+        """Adopt an item handed over by another node after id movement."""
+        if item.kind == "input":
+            self.input_queries.setdefault(item.key_text, []).append(item.payload)
+        elif item.kind == "rewritten":
+            self.rewritten_queries.setdefault(item.key_text, []).append(item.payload)
+        elif item.kind == "tuple":
+            record = item.payload
+            assert isinstance(record, StoredTuple)
+            self.tuple_store.add(item.key_text, record.tuple, record.stored_at)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown rehomed item kind {item.kind!r}")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def stored_input_queries(self) -> int:
+        """Number of input queries currently stored at this node."""
+        return sum(len(records) for records in self.input_queries.values())
+
+    @property
+    def stored_rewritten_queries(self) -> int:
+        """Number of rewritten queries currently stored at this node."""
+        return sum(len(records) for records in self.rewritten_queries.values())
+
+    @property
+    def stored_tuples(self) -> int:
+        """Number of value-level tuples currently stored at this node."""
+        return len(self.tuple_store)
+
+    @property
+    def current_storage_items(self) -> int:
+        """Rewritten queries plus tuples currently stored (the SL state)."""
+        count = self.stored_rewritten_queries + self.stored_tuples
+        if self.ctx.config.count_altt_in_storage:
+            count += len(self.altt)
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RJoinNode({self.address}, input={self.stored_input_queries}, "
+            f"rewritten={self.stored_rewritten_queries}, tuples={self.stored_tuples})"
+        )

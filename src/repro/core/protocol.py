@@ -1,0 +1,143 @@
+"""Wire messages of the RJoin protocol.
+
+The message vocabulary corresponds to the procedures of Section 3, the RIC
+machinery of Sections 6–7 and answer delivery:
+
+* :class:`NewTupleMessage` — Procedure 1/2: a published tuple indexed at a
+  given key (attribute or value level),
+* :class:`IndexQueryMessage` — an input query being indexed at the attribute
+  level,
+* :class:`EvalMessage` — Procedure 3: a rewritten query being (re)indexed,
+  together with the key it was indexed under and piggy-backed RIC
+  information,
+* :class:`RicRequestMessage` / :class:`RicReplyMessage` — the chained RIC
+  information gathering of Section 6 (each candidate appends its observation
+  and forwards the request; the last one replies directly to the origin),
+* :class:`AnswerMessage` — an answer of an input query, sent directly to the
+  node that submitted it.
+
+:class:`QueryState` is the mutable evaluation state shipped inside the query
+messages: the (rewritten) query, the identity and owner of the originating
+input query, its insertion time, the window state of the tuples consumed so
+far, and the piggy-backed RIC entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple as TupleT
+
+from repro.core.keys import IndexKey
+from repro.core.ric import RicEntry
+from repro.core.windows import WindowState
+from repro.data.tuples import Tuple
+from repro.net.messages import Message
+from repro.sql.ast import Query
+
+
+@dataclass
+class QueryState:
+    """The evaluation state of a continuous query (input or rewritten)."""
+
+    query_id: str
+    owner: str
+    query: Query
+    insertion_time: float
+    is_input: bool = True
+    window_state: Optional[WindowState] = None
+    consumed: int = 0
+    ric_info: Dict[str, RicEntry] = field(default_factory=dict)
+
+    def derive(
+        self,
+        query: Query,
+        window_state: Optional[WindowState],
+        extra_ric: Optional[Dict[str, RicEntry]] = None,
+    ) -> "QueryState":
+        """The state of the query obtained by consuming one more tuple."""
+        ric_info = dict(self.ric_info)
+        if extra_ric:
+            ric_info.update(extra_ric)
+        return QueryState(
+            query_id=self.query_id,
+            owner=self.owner,
+            query=query,
+            insertion_time=self.insertion_time,
+            is_input=False,
+            window_state=window_state,
+            consumed=self.consumed + 1,
+            ric_info=ric_info,
+        )
+
+    @property
+    def distinct(self) -> bool:
+        """Whether the originating input query requested set semantics."""
+        return self.query.distinct
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "input" if self.is_input else f"rewritten(consumed={self.consumed})"
+        return f"QueryState({self.query_id}, {kind}, {self.query})"
+
+
+@dataclass
+class NewTupleMessage(Message):
+    """A freshly published tuple routed to one of its indexing keys."""
+
+    tuple: Tuple
+    key: IndexKey
+    publisher: str
+
+    @property
+    def level(self) -> str:
+        """Indexing level the tuple arrives at (``attribute`` or ``value``)."""
+        return self.key.level
+
+
+@dataclass
+class IndexQueryMessage(Message):
+    """An input query being indexed at an attribute-level key."""
+
+    state: QueryState
+    key: IndexKey
+
+
+@dataclass
+class EvalMessage(Message):
+    """A rewritten query being indexed (Procedure 3)."""
+
+    state: QueryState
+    key: IndexKey
+
+
+@dataclass
+class RicRequestMessage(Message):
+    """A chained request for RIC information (Section 6).
+
+    ``target_key`` is the key the receiving node must report about;
+    ``pending`` holds the keys still to be visited; ``collected`` accumulates
+    the observations gathered so far along the chain.
+    """
+
+    request_id: str
+    origin: str
+    target_key: IndexKey
+    pending: TupleT[IndexKey, ...] = ()
+    collected: TupleT[RicEntry, ...] = ()
+
+
+@dataclass
+class RicReplyMessage(Message):
+    """The final RIC reply, sent directly back to the requesting node."""
+
+    request_id: str
+    collected: TupleT[RicEntry, ...] = ()
+
+
+@dataclass
+class AnswerMessage(Message):
+    """An answer tuple of an input query, delivered to its owner."""
+
+    query_id: str
+    values: TupleT[Any, ...]
+    produced_at: float
+    producer: str

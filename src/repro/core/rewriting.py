@@ -1,0 +1,160 @@
+"""Incremental query rewriting (Section 3).
+
+When a tuple ``t`` of relation ``R`` triggers a (possibly already rewritten)
+query ``q``, RJoin rewrites ``q`` into a new query ``q'`` that reflects the
+fact that ``t`` has arrived:
+
+* every reference to an attribute of ``R`` in the select list is replaced by
+  the corresponding value of ``t``,
+* every join predicate involving ``R`` becomes a selection on the other side
+  (``R.A = S.B`` with ``t.A = 3`` becomes ``3 = S.B``),
+* every selection on ``R`` is checked against ``t``: if satisfied it is
+  dropped, if violated the rewrite is *dead* — the combination of tuples it
+  represents can never produce an answer, so no new query is created,
+* ``R`` is removed from the FROM clause.
+
+A rewritten query whose where clause became equivalent to ``true`` (no
+relations, no predicates, only constants in the select list) is an *answer*
+of the original query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from repro.data.schema import AttributeRef, RelationSchema
+from repro.data.tuples import Tuple
+from repro.errors import RewriteError
+from repro.sql.ast import Constant, JoinPredicate, Query, SelectionPredicate
+from repro.sql.predicates import is_contradictory
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """Outcome of one rewrite step."""
+
+    query: Optional[Query]      # None when the rewrite is dead
+    dead: bool = False
+    complete: bool = False      # where clause equivalent to true
+
+    @property
+    def alive(self) -> bool:
+        """Whether a (non-answer) rewritten query was produced."""
+        return not self.dead and not self.complete
+
+
+DEAD = RewriteResult(query=None, dead=True)
+
+
+def tuple_satisfies_selections(
+    query: Query, tup: Tuple, schema: RelationSchema
+) -> bool:
+    """Check the explicit selections of ``query`` on ``tup``'s relation."""
+    values = tup.as_dict(schema)
+    for sp in query.selection_predicates:
+        if sp.attribute.relation != tup.relation:
+            continue
+        if values[sp.attribute.attribute] != sp.value:
+            return False
+    return True
+
+
+def rewrite_query(query: Query, tup: Tuple, schema: RelationSchema) -> RewriteResult:
+    """Rewrite ``query`` with ``tup`` (one step of RJoin's incremental evaluation).
+
+    Raises :class:`~repro.errors.RewriteError` when ``tup``'s relation does
+    not appear in the query's FROM clause — callers are expected to route
+    tuples only to queries that reference their relation.
+    """
+    relation = tup.relation
+    if relation not in query.relations:
+        raise RewriteError(
+            f"tuple of relation {relation!r} cannot rewrite a query over "
+            f"{query.relations}"
+        )
+    values: Dict[str, Any] = tup.as_dict(schema)
+
+    # 1. Selections on the consumed relation must be satisfied.
+    remaining_selections: List[SelectionPredicate] = []
+    for sp in query.selection_predicates:
+        if sp.attribute.relation == relation:
+            if values[sp.attribute.attribute] != sp.value:
+                return DEAD
+            # satisfied -> dropped
+        else:
+            remaining_selections.append(sp)
+
+    # 2. Join predicates involving the consumed relation become selections.
+    remaining_joins: List[JoinPredicate] = []
+    new_selections: List[SelectionPredicate] = []
+    for jp in query.join_predicates:
+        if not jp.references(relation):
+            remaining_joins.append(jp)
+            continue
+        other = jp.other_side(relation)
+        own = jp.side_for(relation)
+        if other.relation == relation:
+            # Self-join predicate (not produced by the parser, but handle it):
+            # both sides are bound by the tuple, so simply evaluate it.
+            if values[own.attribute] != values[other.attribute]:
+                return DEAD
+            continue
+        new_selections.append(
+            SelectionPredicate(other, values[own.attribute])
+        )
+
+    # 3. Merge selections and detect contradictions (two different constants
+    #    required for the same attribute can never be satisfied).
+    merged: List[SelectionPredicate] = list(remaining_selections)
+    seen = {(sp.attribute, sp.value) for sp in merged}
+    for sp in new_selections:
+        if (sp.attribute, sp.value) in seen:
+            continue
+        seen.add((sp.attribute, sp.value))
+        merged.append(sp)
+    if is_contradictory(merged):
+        return DEAD
+
+    # 4. Substitute values into the select list.
+    new_select: List[Union[AttributeRef, Constant]] = []
+    for item in query.select_items:
+        if isinstance(item, AttributeRef) and item.relation == relation:
+            new_select.append(Constant(values[item.attribute]))
+        else:
+            new_select.append(item)
+
+    # 5. Drop the consumed relation from FROM.
+    new_relations = tuple(rel for rel in query.relations if rel != relation)
+
+    rewritten = Query(
+        select_items=tuple(new_select),
+        relations=new_relations,
+        join_predicates=tuple(remaining_joins),
+        selection_predicates=tuple(merged),
+        distinct=query.distinct,
+        window=query.window,
+    )
+    if rewritten.is_complete():
+        return RewriteResult(query=rewritten, complete=True)
+    return RewriteResult(query=rewritten)
+
+
+def rewrite_chain(
+    query: Query, tuples: List[Tuple], schemas: Dict[str, RelationSchema]
+) -> RewriteResult:
+    """Apply :func:`rewrite_query` repeatedly, one tuple at a time.
+
+    A convenience for tests and the reference engine: the result is dead as
+    soon as any step is dead, and complete when the final query is complete.
+    """
+    current = query
+    for tup in tuples:
+        result = rewrite_query(current, tup, schemas[tup.relation])
+        if result.dead:
+            return DEAD
+        assert result.query is not None
+        current = result.query
+    if current.is_complete():
+        return RewriteResult(query=current, complete=True)
+    return RewriteResult(query=current)

@@ -1,0 +1,150 @@
+"""Rate-of-incoming-tuples (RIC) bookkeeping — Sections 6 and 7.
+
+Before indexing a query, RJoin asks the candidate nodes for information about
+the rate of incoming tuples for the candidate keys (RIC information), then
+indexes the query where the predicted rate is lowest.  Three pieces of local
+state support this:
+
+* :class:`RateTracker` — every node records, per indexing key it is
+  responsible for, the arrival times of incoming tuples; the reported rate is
+  the number of arrivals observed during the last time window (or the total
+  count when no window is configured — "we observe what has happened ... and
+  assume a similar behavior for the future"),
+* :class:`RicEntry` — one observation: key, rate, the address of the node
+  that reported it and when it was reported,
+* :class:`CandidateTable` (CT) — the per-node cache of RIC entries
+  (Section 7): entries learned by asking candidates, or received piggy-backed
+  on rewritten queries, are kept so that future indexing decisions for the
+  same key need no extra messages; stale entries can be refreshed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class RicEntry:
+    """One piece of RIC information about an indexing key."""
+
+    key_text: str
+    rate: float
+    address: str
+    observed_at: float
+
+    def is_fresh(self, now: float, freshness: Optional[float]) -> bool:
+        """Whether the entry is still considered valid at time ``now``."""
+        if freshness is None:
+            return True
+        return (now - self.observed_at) <= freshness
+
+
+class RateTracker:
+    """Per-node arrival counting for the keys the node is responsible for."""
+
+    def __init__(self, window: Optional[float] = None):
+        """``window`` bounds the observation horizon; ``None`` counts forever."""
+        self.window = window
+        self._arrivals: Dict[str, Deque[float]] = {}
+        self._totals: Dict[str, int] = {}
+
+    def record(self, key_text: str, now: float) -> None:
+        """Record the arrival of a tuple for ``key_text`` at time ``now``."""
+        self._totals[key_text] = self._totals.get(key_text, 0) + 1
+        if self.window is None:
+            return
+        arrivals = self._arrivals.setdefault(key_text, deque())
+        arrivals.append(now)
+        self._prune(arrivals, now)
+
+    def rate(self, key_text: str, now: float) -> float:
+        """Observed arrival count for ``key_text`` over the configured horizon."""
+        if self.window is None:
+            return float(self._totals.get(key_text, 0))
+        arrivals = self._arrivals.get(key_text)
+        if not arrivals:
+            return 0.0
+        self._prune(arrivals, now)
+        return float(len(arrivals))
+
+    def total(self, key_text: str) -> int:
+        """Lifetime arrival count for ``key_text``."""
+        return self._totals.get(key_text, 0)
+
+    def _prune(self, arrivals: Deque[float], now: float) -> None:
+        assert self.window is not None
+        cutoff = now - self.window
+        while arrivals and arrivals[0] < cutoff:
+            arrivals.popleft()
+
+    def tracked_keys(self) -> List[str]:
+        """Keys for which at least one arrival has been observed."""
+        return list(self._totals.keys())
+
+
+class CandidateTable:
+    """Cache of RIC entries (and candidate node addresses) — Section 7."""
+
+    def __init__(self, freshness: Optional[float] = None):
+        """``freshness`` is the maximum age of a usable entry (``None`` = no limit)."""
+        self.freshness = freshness
+        self._entries: Dict[str, RicEntry] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def update(self, entry: RicEntry) -> None:
+        """Insert ``entry``, keeping the most recently observed one per key."""
+        current = self._entries.get(entry.key_text)
+        if current is None or entry.observed_at >= current.observed_at:
+            self._entries[entry.key_text] = entry
+
+    def update_many(self, entries: Iterable[RicEntry]) -> None:
+        """Insert several entries at once."""
+        for entry in entries:
+            self.update(entry)
+
+    def lookup(self, key_text: str, now: float) -> Optional[RicEntry]:
+        """Return a fresh cached entry for ``key_text`` or None."""
+        entry = self._entries.get(key_text)
+        if entry is not None and entry.is_fresh(now, self.freshness):
+            self._hits += 1
+            return entry
+        self._misses += 1
+        return None
+
+    def address_of(self, key_text: str) -> Optional[str]:
+        """Last known responsible node for ``key_text`` (even if the rate is stale)."""
+        entry = self._entries.get(key_text)
+        return entry.address if entry is not None else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        """Number of lookups answered from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of lookups that required contacting the candidate node."""
+        return self._misses
+
+
+def merge_ric_info(
+    base: Mapping[str, RicEntry], extra: Iterable[RicEntry]
+) -> Dict[str, RicEntry]:
+    """Merge RIC observations, preferring the most recent entry per key.
+
+    Used to build the information piggy-backed on rewritten queries: the
+    forwarding node packs what it knows so that the receiving node only needs
+    to ask about candidate keys introduced by the rewriting step.
+    """
+    merged: Dict[str, RicEntry] = dict(base)
+    for entry in extra:
+        current = merged.get(entry.key_text)
+        if current is None or entry.observed_at >= current.observed_at:
+            merged[entry.key_text] = entry
+    return merged

@@ -1,0 +1,237 @@
+"""Indexing-candidate enumeration and indexing strategies (Section 6).
+
+Where a query waits for tuples determines how much traffic and processing its
+continuous evaluation costs.  RJoin enumerates the legal indexing candidates
+of a query and chooses among them based on the predicted rate of incoming
+tuples:
+
+* **input queries** may be indexed under any relation-attribute pair that
+  appears in their where clause (attribute level),
+* **rewritten queries** may be indexed under (a) relation-attribute pairs of
+  their remaining join conditions, (b) relation-attribute-value triples of
+  their explicit selections, and (c) triples implied by the where clause
+  (value level).
+
+Four strategies are provided, matching the variants evaluated in Figure 2:
+
+* :class:`RJoinStrategy` — pick the candidate with the *lowest* predicted
+  rate (ties prefer value-level keys, which always see a subset of the
+  corresponding attribute-level traffic),
+* :class:`RandomStrategy` — pick uniformly at random,
+* :class:`WorstStrategy` — pick the candidate with the *highest* rate (the
+  paper's worst-case variation; it consults a simulation-level oracle instead
+  of issuing RIC traffic, so the "Request RIC" series applies to RJoin only),
+* :class:`FirstCandidateStrategy` — pick the first candidate in where-clause
+  order (the naive behaviour described before Section 6).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.keys import IndexKey, attribute_key, value_key
+from repro.errors import ConfigurationError
+from repro.sql.ast import Query
+from repro.sql.predicates import all_selections
+
+
+# ---------------------------------------------------------------------------
+# candidate enumeration
+# ---------------------------------------------------------------------------
+def input_query_candidates(query: Query) -> List[IndexKey]:
+    """Attribute-level candidates of an input query.
+
+    Every ``RelName.AttName`` expression in the where clause is a legal
+    choice; when the query has no where clause at all (single-relation scan)
+    the select-list attributes are used instead so that the query still meets
+    every tuple of its relation.
+    """
+    candidates: List[IndexKey] = []
+    seen = set()
+
+    def _add(relation: str, attribute: str) -> None:
+        key = attribute_key(relation, attribute)
+        if key.text not in seen:
+            seen.add(key.text)
+            candidates.append(key)
+
+    for jp in query.join_predicates:
+        _add(jp.left.relation, jp.left.attribute)
+        _add(jp.right.relation, jp.right.attribute)
+    for sp in query.selection_predicates:
+        _add(sp.attribute.relation, sp.attribute.attribute)
+    if not candidates:
+        for item in query.select_items:
+            if hasattr(item, "relation"):
+                _add(item.relation, item.attribute)  # type: ignore[union-attr]
+    return candidates
+
+
+def rewritten_query_candidates(
+    query: Query, allow_attribute_level: bool = True
+) -> List[IndexKey]:
+    """Candidates of a rewritten query: families (b), (c) and optionally (a).
+
+    Value-level candidates come first (explicit selections, then implied
+    ones), followed by attribute-level join pairs when
+    ``allow_attribute_level`` is set.  The order defines the behaviour of
+    :class:`FirstCandidateStrategy` and the deterministic tie-breaking of the
+    rate-based strategies.
+    """
+    candidates: List[IndexKey] = []
+    seen = set()
+
+    def _add(key: IndexKey) -> None:
+        if key.text not in seen:
+            seen.add(key.text)
+            candidates.append(key)
+
+    for sp in all_selections(query):
+        if sp.attribute.relation in query.relations:
+            _add(value_key(sp.attribute.relation, sp.attribute.attribute, sp.value))
+    if allow_attribute_level:
+        for jp in query.join_predicates:
+            _add(attribute_key(jp.left.relation, jp.left.attribute))
+            _add(attribute_key(jp.right.relation, jp.right.attribute))
+    if not candidates:
+        # Degenerate queries (no usable selection and attribute-level keys
+        # disallowed): fall back to attribute-level pairs so that the query
+        # can still be indexed somewhere.
+        for ref in query.attribute_refs():
+            if ref.relation in query.relations:
+                _add(attribute_key(ref.relation, ref.attribute))
+    return candidates
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+class IndexingStrategy(ABC):
+    """Decides under which candidate key a (rewritten) query is indexed."""
+
+    #: Whether the strategy needs distributed RIC collection (extra messages).
+    requires_ric: bool = False
+    #: Whether the strategy consults the simulation-level rate oracle.
+    uses_oracle: bool = False
+    #: Short name used in configurations and reports.
+    name: str = "strategy"
+
+    @abstractmethod
+    def choose(
+        self,
+        candidates: Sequence[IndexKey],
+        rates: Mapping[str, float],
+        rng: random.Random,
+    ) -> IndexKey:
+        """Pick one candidate.  ``rates`` maps key text to the observed rate."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+def _rate_of(key: IndexKey, rates: Mapping[str, float]) -> float:
+    return float(rates.get(key.text, 0.0))
+
+
+def _tie_break(key: IndexKey) -> tuple:
+    """Deterministic tie-break: prefer value-level keys, then lexicographic order."""
+    return (0 if key.is_value_level else 1, key.text)
+
+
+class RJoinStrategy(IndexingStrategy):
+    """Index where the predicted tuple rate is lowest (the paper's choice)."""
+
+    requires_ric = True
+    name = "rjoin"
+
+    def choose(
+        self,
+        candidates: Sequence[IndexKey],
+        rates: Mapping[str, float],
+        rng: random.Random,
+    ) -> IndexKey:
+        if not candidates:
+            raise ConfigurationError("cannot choose among zero candidates")
+        return min(candidates, key=lambda key: (_rate_of(key, rates), _tie_break(key)))
+
+
+class WorstStrategy(IndexingStrategy):
+    """Always make the worst possible choice (highest rate) — Figure 2 baseline."""
+
+    uses_oracle = True
+    name = "worst"
+
+    def choose(
+        self,
+        candidates: Sequence[IndexKey],
+        rates: Mapping[str, float],
+        rng: random.Random,
+    ) -> IndexKey:
+        if not candidates:
+            raise ConfigurationError("cannot choose among zero candidates")
+        return max(
+            candidates,
+            key=lambda key: (
+                _rate_of(key, rates),
+                0 if not key.is_value_level else -1,
+                key.text,
+            ),
+        )
+
+
+class RandomStrategy(IndexingStrategy):
+    """Choose uniformly at random among the candidates — Figure 2 baseline."""
+
+    name = "random"
+
+    def choose(
+        self,
+        candidates: Sequence[IndexKey],
+        rates: Mapping[str, float],
+        rng: random.Random,
+    ) -> IndexKey:
+        if not candidates:
+            raise ConfigurationError("cannot choose among zero candidates")
+        return rng.choice(list(candidates))
+
+
+class FirstCandidateStrategy(IndexingStrategy):
+    """Choose the first candidate in where-clause order (naive Section 3 behaviour)."""
+
+    name = "first"
+
+    def choose(
+        self,
+        candidates: Sequence[IndexKey],
+        rates: Mapping[str, float],
+        rng: random.Random,
+    ) -> IndexKey:
+        if not candidates:
+            raise ConfigurationError("cannot choose among zero candidates")
+        return candidates[0]
+
+
+_STRATEGIES = {
+    "rjoin": RJoinStrategy,
+    "worst": WorstStrategy,
+    "random": RandomStrategy,
+    "first": FirstCandidateStrategy,
+}
+
+
+def make_strategy(name: str) -> IndexingStrategy:
+    """Instantiate a strategy by name (``rjoin``, ``worst``, ``random``, ``first``)."""
+    try:
+        return _STRATEGIES[name.lower()]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown indexing strategy {name!r}; expected one of "
+            f"{sorted(_STRATEGIES)}"
+        ) from None
+
+
+def available_strategies() -> List[str]:
+    """Names of all registered strategies."""
+    return sorted(_STRATEGIES)

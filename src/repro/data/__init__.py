@@ -1,0 +1,27 @@
+"""Relational data model used by the RJoin engine.
+
+The paper assumes the relational data model: data is inserted into the
+network as tuples of append-only relations (Section 2).  This subpackage
+provides:
+
+* :class:`~repro.data.schema.RelationSchema` and
+  :class:`~repro.data.schema.Catalog` — relation schemas and the schema
+  catalog shared by publishers and queriers,
+* :class:`~repro.data.tuples.Tuple` — an immutable published tuple carrying
+  its publication time and per-relation sequence number,
+* :class:`~repro.data.store.TupleStore` — the per-node local tuple storage
+  keyed by indexing keys (used for value-level storage and the ALTT).
+"""
+
+from repro.data.schema import AttributeRef, Catalog, RelationSchema
+from repro.data.store import StoredTuple, TupleStore
+from repro.data.tuples import Tuple
+
+__all__ = [
+    "AttributeRef",
+    "Catalog",
+    "RelationSchema",
+    "StoredTuple",
+    "Tuple",
+    "TupleStore",
+]

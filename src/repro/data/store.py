@@ -1,0 +1,152 @@
+"""Per-node local tuple storage.
+
+Every RJoin node stores tuples it receives *at the value level* so that
+rewritten queries arriving later can still be matched against them
+(Procedure 2 and 3 of the paper).  The attribute-level tuple table (ALTT) of
+Section 4 reuses the same structure with an expiry time (see
+:mod:`repro.core.altt`).
+
+The store is a mapping ``indexing key -> list of stored tuples``.  It also
+maintains aggregate counters that feed the storage-load metric of the
+experimental section: the *storage load* of a node is the number of rewritten
+queries plus the number of tuples that the node has to store locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple as TupleT
+
+from repro.data.tuples import Tuple
+
+
+@dataclass
+class StoredTuple:
+    """A tuple held in a node-local store together with bookkeeping data."""
+
+    tuple: Tuple
+    key: str
+    stored_at: float
+
+    @property
+    def identity(self) -> TupleT[str, int]:
+        """Identity of the underlying published tuple."""
+        return self.tuple.identity
+
+
+class TupleStore:
+    """Key-addressed local storage for published tuples.
+
+    The store intentionally keeps one entry per ``(key, tuple identity)``
+    pair: the same publication indexed under two different keys at the same
+    node occupies two slots (it costs storage twice), which matches how the
+    paper counts storage load, while lookups that span several keys can
+    deduplicate through :meth:`tuples_for_prefix`.
+    """
+
+    def __init__(self) -> None:
+        self._by_key: Dict[str, List[StoredTuple]] = {}
+        self._stored_total = 0  # cumulative number of store operations
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, key: str, tup: Tuple, now: float) -> StoredTuple:
+        """Store ``tup`` under ``key`` and return the stored record."""
+        record = StoredTuple(tuple=tup, key=key, stored_at=now)
+        self._by_key.setdefault(key, []).append(record)
+        self._stored_total += 1
+        return record
+
+    def remove_older_than(self, key: str, cutoff: float) -> int:
+        """Drop tuples under ``key`` stored strictly before ``cutoff``.
+
+        Returns the number of removed entries.  Used by the ALTT garbage
+        collector and by window-based state reduction.
+        """
+        records = self._by_key.get(key)
+        if not records:
+            return 0
+        kept = [r for r in records if r.stored_at >= cutoff]
+        removed = len(records) - len(kept)
+        if kept:
+            self._by_key[key] = kept
+        else:
+            del self._by_key[key]
+        return removed
+
+    def remove_published_before(self, cutoff: float) -> int:
+        """Drop every tuple whose publication time is strictly before ``cutoff``."""
+        removed = 0
+        for key in list(self._by_key.keys()):
+            records = self._by_key[key]
+            kept = [r for r in records if r.tuple.pub_time >= cutoff]
+            removed += len(records) - len(kept)
+            if kept:
+                self._by_key[key] = kept
+            else:
+                del self._by_key[key]
+        return removed
+
+    def clear(self) -> None:
+        """Remove every stored tuple (does not reset cumulative counters)."""
+        self._by_key.clear()
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def tuples_for_key(self, key: str) -> List[Tuple]:
+        """Return the tuples stored under exactly ``key``."""
+        return [r.tuple for r in self._by_key.get(key, [])]
+
+    def records_for_key(self, key: str) -> List[StoredTuple]:
+        """Return the stored records under exactly ``key``."""
+        return list(self._by_key.get(key, []))
+
+    def tuples_for_prefix(self, prefix: str) -> List[Tuple]:
+        """Return tuples stored under any key starting with ``prefix``.
+
+        Used when a rewritten query indexed at the *attribute level* needs to
+        scan every locally stored tuple of a relation-attribute pair
+        regardless of the value component of the key.  Results are
+        deduplicated by tuple identity.
+        """
+        seen: Set[TupleT[str, int]] = set()
+        result: List[Tuple] = []
+        for key, records in self._by_key.items():
+            if not key.startswith(prefix):
+                continue
+            for record in records:
+                if record.identity in seen:
+                    continue
+                seen.add(record.identity)
+                result.append(record.tuple)
+        return result
+
+    def has_key(self, key: str) -> bool:
+        """Return whether any tuple is stored under ``key``."""
+        return key in self._by_key
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of currently stored entries (across all keys)."""
+        return sum(len(records) for records in self._by_key.values())
+
+    @property
+    def cumulative_stored(self) -> int:
+        """Total number of store operations performed over the node's lifetime."""
+        return self._stored_total
+
+    def keys(self) -> Iterable[str]:
+        """Iterate over the indexing keys that currently hold tuples."""
+        return self._by_key.keys()
+
+    def __iter__(self) -> Iterator[StoredTuple]:
+        for records in self._by_key.values():
+            yield from records
+
+    def distinct_tuples(self) -> int:
+        """Number of distinct publications currently stored at this node."""
+        return len({record.identity for record in self})

@@ -1,0 +1,272 @@
+"""Chord overlay: nodes, finger tables, lookup paths, join/leave/move.
+
+The simulation keeps a global view of the ring (all experiments in the paper
+run on a stable network), but routing is performed exactly as Chord would
+with correct finger tables: a lookup from node ``x`` for identifier ``id``
+greedily forwards the request to the finger that most closely precedes
+``id``, reaching ``Successor(id)`` in ``O(log N)`` hops with high
+probability.  The hop sequence returned by :meth:`ChordRing.route_path` is
+what the traffic accounting of the experiments charges.
+
+Node joins, voluntary leaves and identifier movement (used by the
+load-balancing experiment of Figure 9) are supported; after a membership
+change the cached finger tables are invalidated, which models Chord reaching
+stability again before the next message is routed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dht.hashing import IdentifierSpace
+from repro.dht.ring import RingMap
+from repro.errors import (
+    ConfigurationError,
+    DuplicateNodeError,
+    EmptyRingError,
+    UnknownNodeError,
+)
+
+
+class ChordNode:
+    """A single Chord node: an identifier plus a network address."""
+
+    __slots__ = ("node_id", "address")
+
+    def __init__(self, node_id: int, address: str):
+        self.node_id = node_id
+        self.address = address
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChordNode(id={self.node_id}, address={self.address!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChordNode):
+            return NotImplemented
+        return self.address == other.address and self.node_id == other.node_id
+
+    def __hash__(self) -> int:
+        return hash((self.address, self.node_id))
+
+
+class ChordRing:
+    """The global view of a Chord network used by the simulation."""
+
+    def __init__(self, space: Optional[IdentifierSpace] = None):
+        self.space = space or IdentifierSpace()
+        self._ring: RingMap[ChordNode] = RingMap(self.space)
+        self._by_address: Dict[str, ChordNode] = {}
+        self._finger_cache: Dict[str, List[ChordNode]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create_network(
+        cls,
+        num_nodes: int,
+        space: Optional[IdentifierSpace] = None,
+        seed: Optional[int] = None,
+        address_format: str = "node-{index}",
+        hashed_placement: bool = False,
+    ) -> "ChordRing":
+        """Create a ring of ``num_nodes`` nodes.
+
+        Node identifiers are drawn uniformly at random (default) or by
+        hashing the node address (``hashed_placement=True``), both of which
+        are standard Chord deployments.
+        """
+        if num_nodes <= 0:
+            raise ConfigurationError("a network needs at least one node")
+        ring = cls(space)
+        rng = random.Random(seed)
+        for index in range(num_nodes):
+            address = address_format.format(index=index)
+            if hashed_placement:
+                node_id = ring.space.hash_key(address)
+            else:
+                node_id = ring.space.random_identifier(rng)
+            # Extremely unlikely collisions: re-draw deterministically.
+            while node_id in ring._ring:
+                node_id = ring.space.normalize(node_id + 1)
+            ring.add_node(address, node_id)
+        return ring
+
+    def add_node(self, address: str, node_id: Optional[int] = None) -> ChordNode:
+        """A node joins the ring (its identifier is hashed from the address by default)."""
+        if address in self._by_address:
+            raise DuplicateNodeError(f"a node with address {address!r} already exists")
+        if node_id is None:
+            node_id = self.space.hash_key(address)
+        node_id = self.space.normalize(node_id)
+        node = ChordNode(node_id, address)
+        self._ring.insert(node_id, node)
+        self._by_address[address] = node
+        self._invalidate_fingers()
+        return node
+
+    def remove_node(self, address: str) -> ChordNode:
+        """A node leaves (or fails); its key range is absorbed by its successor."""
+        node = self.node_by_address(address)
+        self._ring.remove(node.node_id)
+        del self._by_address[address]
+        self._invalidate_fingers()
+        return node
+
+    def move_node(self, address: str, new_id: int) -> Tuple[int, int]:
+        """Relocate a node on the identifier circle (id movement, Figure 9).
+
+        Returns ``(old_id, new_id)``.  The caller is responsible for
+        re-homing application state whose ownership changed.
+        """
+        node = self.node_by_address(address)
+        old_id = node.node_id
+        new_id = self.space.normalize(new_id)
+        if new_id == old_id:
+            return old_id, new_id
+        self._ring.move(old_id, new_id)
+        node.node_id = new_id
+        self._invalidate_fingers()
+        return old_id, new_id
+
+    def _invalidate_fingers(self) -> None:
+        self._finger_cache.clear()
+
+    # ------------------------------------------------------------------
+    # membership queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def nodes(self) -> List[ChordNode]:
+        """All nodes ordered by identifier."""
+        return self._ring.values()
+
+    @property
+    def addresses(self) -> List[str]:
+        """All node addresses ordered by identifier."""
+        return [node.address for node in self._ring.values()]
+
+    def node_by_address(self, address: str) -> ChordNode:
+        """Return the node with the given address or raise."""
+        try:
+            return self._by_address[address]
+        except KeyError:
+            raise UnknownNodeError(f"no node with address {address!r}") from None
+
+    def has_address(self, address: str) -> bool:
+        """Whether a node with ``address`` participates in the ring."""
+        return address in self._by_address
+
+    # ------------------------------------------------------------------
+    # ownership / lookup
+    # ------------------------------------------------------------------
+    def successor(self, identifier: int) -> ChordNode:
+        """``Successor(identifier)``: the node responsible for the identifier."""
+        _, node = self._ring.successor(identifier)
+        return node
+
+    def predecessor_of(self, node: ChordNode) -> ChordNode:
+        """The node immediately preceding ``node`` on the circle."""
+        _, pred = self._ring.predecessor(node.node_id)
+        return pred
+
+    def successor_of(self, node: ChordNode) -> ChordNode:
+        """The node immediately following ``node`` on the circle."""
+        _, succ = self._ring.successor(self.space.normalize(node.node_id + 1))
+        return succ
+
+    def owner_of_key(self, key: str) -> ChordNode:
+        """The node responsible for a string key (``Successor(Hash(key))``)."""
+        return self.successor(self.space.hash_key(key))
+
+    def arc_length_of(self, node: ChordNode) -> int:
+        """Number of identifiers owned by ``node``."""
+        return self._ring.arc_length(node.node_id)
+
+    # ------------------------------------------------------------------
+    # finger tables and routing
+    # ------------------------------------------------------------------
+    def finger_table(self, node: ChordNode) -> List[ChordNode]:
+        """The finger table of ``node``: ``finger[i] = Successor(n + 2^i)``."""
+        cached = self._finger_cache.get(node.address)
+        if cached is not None:
+            return cached
+        fingers = [
+            self.successor(self.space.power_step(node.node_id, i))
+            for i in range(self.space.bits)
+        ]
+        self._finger_cache[node.address] = fingers
+        return fingers
+
+    def route_path(self, start: ChordNode, identifier: int) -> List[ChordNode]:
+        """The node sequence a Chord lookup from ``start`` for ``identifier`` visits.
+
+        The returned list starts at ``start`` and ends at
+        ``Successor(identifier)``.  Each intermediate step follows the finger
+        that most closely precedes the identifier (greedy Chord routing with
+        perfect finger tables); the number of transmissions for the lookup is
+        ``len(path) - 1``.
+        """
+        if len(self._ring) == 0:
+            raise EmptyRingError("cannot route on an empty ring")
+        identifier = self.space.normalize(identifier)
+        owner = self.successor(identifier)
+        path = [start]
+        current = start
+        # Upper bound on steps: the identifier-space bit width (each greedy
+        # step at least halves the remaining clockwise distance).
+        for _ in range(self.space.bits + 1):
+            if current.address == owner.address:
+                return path
+            next_hop = self._closest_preceding_hop(current, identifier)
+            path.append(next_hop)
+            current = next_hop
+        raise ConfigurationError(
+            "routing did not converge; the ring is in an inconsistent state"
+        )
+
+    def _closest_preceding_hop(self, current: ChordNode, identifier: int) -> ChordNode:
+        """The next hop of greedy Chord routing from ``current`` towards ``identifier``."""
+        remaining = self.space.distance(current.node_id, identifier)
+        if remaining == 0:
+            return current
+        # The largest useful finger is 2^(bit_length(remaining) - 1): larger
+        # fingers overshoot the target and would be skipped anyway.
+        top_exponent = min(self.space.bits, remaining.bit_length()) - 1
+        for exponent in range(top_exponent, -1, -1):
+            step = 1 << exponent
+            if step > remaining:
+                continue
+            candidate = self.successor(self.space.power_step(current.node_id, exponent))
+            progress = self.space.distance(current.node_id, candidate.node_id)
+            if 0 < progress <= remaining:
+                return candidate
+        # No finger falls inside (current, identifier]: the immediate
+        # successor of ``current`` owns the identifier.
+        return self.successor_of(current)
+
+    def lookup(self, start_address: str, key: str) -> Tuple[ChordNode, int]:
+        """Resolve ``key`` starting from ``start_address``; return (owner, hops)."""
+        start = self.node_by_address(start_address)
+        path = self.route_path(start, self.space.hash_key(key))
+        return path[-1], len(path) - 1
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def estimate_max_lookup_hops(self) -> int:
+        """A crude upper bound on lookup hops for the current network size.
+
+        Used to derive the ALTT expiry ``Δ`` (Section 4): each node can
+        estimate the number of nodes in the network and compute an
+        overestimate of the time a lookup can take.
+        """
+        n = max(len(self._ring), 2)
+        return max(2 * n.bit_length(), 4)
+
+    def load_map(self, load_of: Callable[[ChordNode], float]) -> Dict[str, float]:
+        """Evaluate ``load_of`` for every node, keyed by address."""
+        return {node.address: load_of(node) for node in self.nodes}

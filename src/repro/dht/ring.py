@@ -1,0 +1,121 @@
+"""Sorted identifier ring with successor queries.
+
+:class:`RingMap` is the data structure underneath the Chord overlay: a sorted
+mapping from node identifiers to arbitrary node objects supporting
+``successor(identifier)`` — the first node whose identifier is equal to or
+follows the given identifier clockwise — in ``O(log N)`` via binary search.
+It is deliberately generic (it stores "values", not Chord nodes) so it can be
+unit-tested and reused independently of the overlay logic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.dht.hashing import IdentifierSpace
+from repro.errors import DuplicateNodeError, EmptyRingError, UnknownNodeError
+
+T = TypeVar("T")
+
+
+class RingMap(Generic[T]):
+    """A circular sorted map from identifiers to values."""
+
+    def __init__(self, space: IdentifierSpace):
+        self.space = space
+        self._ids: List[int] = []
+        self._values: List[T] = []
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, identifier: int, value: T) -> None:
+        """Insert ``value`` at ``identifier``; identifiers must be unique."""
+        identifier = self.space.normalize(identifier)
+        index = bisect.bisect_left(self._ids, identifier)
+        if index < len(self._ids) and self._ids[index] == identifier:
+            raise DuplicateNodeError(f"identifier {identifier} already present")
+        self._ids.insert(index, identifier)
+        self._values.insert(index, value)
+
+    def remove(self, identifier: int) -> T:
+        """Remove and return the value stored at ``identifier``."""
+        identifier = self.space.normalize(identifier)
+        index = bisect.bisect_left(self._ids, identifier)
+        if index >= len(self._ids) or self._ids[index] != identifier:
+            raise UnknownNodeError(f"identifier {identifier} not present")
+        self._ids.pop(index)
+        return self._values.pop(index)
+
+    def move(self, old_identifier: int, new_identifier: int) -> None:
+        """Atomically relocate the value at ``old_identifier`` to ``new_identifier``."""
+        value = self.remove(old_identifier)
+        try:
+            self.insert(new_identifier, value)
+        except DuplicateNodeError:
+            # Roll back so the caller does not lose the node.
+            self.insert(old_identifier, value)
+            raise
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def successor(self, identifier: int) -> Tuple[int, T]:
+        """Return ``(id, value)`` of the first entry at or after ``identifier``."""
+        if not self._ids:
+            raise EmptyRingError("the ring has no nodes")
+        identifier = self.space.normalize(identifier)
+        index = bisect.bisect_left(self._ids, identifier)
+        if index == len(self._ids):
+            index = 0
+        return self._ids[index], self._values[index]
+
+    def predecessor(self, identifier: int) -> Tuple[int, T]:
+        """Return ``(id, value)`` of the last entry strictly before ``identifier``."""
+        if not self._ids:
+            raise EmptyRingError("the ring has no nodes")
+        identifier = self.space.normalize(identifier)
+        index = bisect.bisect_left(self._ids, identifier) - 1
+        if index < 0:
+            index = len(self._ids) - 1
+        return self._ids[index], self._values[index]
+
+    def get(self, identifier: int) -> Optional[T]:
+        """Return the value stored exactly at ``identifier`` (or None)."""
+        identifier = self.space.normalize(identifier)
+        index = bisect.bisect_left(self._ids, identifier)
+        if index < len(self._ids) and self._ids[index] == identifier:
+            return self._values[index]
+        return None
+
+    def __contains__(self, identifier: int) -> bool:
+        return self.get(identifier) is not None
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[Tuple[int, T]]:
+        return iter(zip(self._ids, self._values))
+
+    def identifiers(self) -> List[int]:
+        """All identifiers in increasing order."""
+        return list(self._ids)
+
+    def values(self) -> List[T]:
+        """All values, ordered by identifier."""
+        return list(self._values)
+
+    def arc_length(self, identifier: int) -> int:
+        """Size of the key interval owned by the entry at ``identifier``.
+
+        The owner of ``identifier`` is responsible for keys in
+        ``(predecessor, identifier]``; the arc length is the number of
+        identifiers in that interval.
+        """
+        if not self._ids:
+            raise EmptyRingError("the ring has no nodes")
+        if len(self._ids) == 1:
+            return self.space.size
+        pred_id, _ = self.predecessor(identifier)
+        return self.space.distance(pred_id, identifier)

@@ -1,0 +1,41 @@
+"""Experiment harness reproducing the paper's evaluation (Section 8).
+
+* :mod:`repro.experiments.config` — experiment parameters (network size,
+  workload, strategy, checkpoints) with the paper-scale and the reduced
+  default-scale presets,
+* :mod:`repro.experiments.runner` — runs one experiment end to end on the
+  RJoin engine and collects every metric series the figures need,
+* :mod:`repro.experiments.figures` — one function per figure (Figures 2–9),
+  each returning a :class:`~repro.experiments.figures.FigureResult` with the
+  same series the paper plots.
+"""
+
+from repro.experiments.config import ExperimentConfig, is_full_scale
+from repro.experiments.figures import (
+    FigureResult,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FigureResult",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "is_full_scale",
+    "run_experiment",
+]

@@ -1,0 +1,225 @@
+"""End-to-end experiment runner.
+
+An experiment follows the structure used throughout Section 8:
+
+1. build a Chord network of ``num_nodes`` nodes,
+2. submit ``num_queries`` random k-way join queries (they get indexed and
+   wait for tuples),
+3. publish ``num_tuples`` tuples drawn from the Zipf workload, draining the
+   network after every publication,
+4. collect the three metrics (network traffic split into total and
+   RIC-related, query processing load, storage load), overall, per node
+   (ranked distributions), per checkpoint and — when requested — cumulatively
+   per published tuple (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import RJoinConfig
+from repro.core.engine import RJoinEngine
+from repro.experiments.config import ExperimentConfig
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured during one experiment run."""
+
+    config: ExperimentConfig
+    summary: Dict[str, float]
+    #: Metric totals right before the first measured tuple was published
+    #: (i.e. after the warm-up tuples and the query-indexing phase).  The
+    #: figures report the difference between the final/checkpoint values and
+    #: this baseline so that warm-up load is excluded.
+    baseline: Dict[str, float] = field(default_factory=dict)
+    #: Metric totals right after the warm-up phase (before query indexing);
+    #: used when a figure should include the query-indexing cost (Figure 2
+    #: reports total traffic including the RIC requests of input queries) but
+    #: still exclude the warm-up tuples.
+    warmup_baseline: Dict[str, float] = field(default_factory=dict)
+    # Traffic -----------------------------------------------------------------
+    messages_total: int = 0
+    ric_messages_total: int = 0
+    messages_tuple_phase: int = 0
+    ric_messages_tuple_phase: int = 0
+    # Ranked per-node distributions ------------------------------------------
+    ranked_qpl: List[int] = field(default_factory=list)
+    ranked_storage: List[int] = field(default_factory=list)
+    ranked_storage_current: List[int] = field(default_factory=list)
+    ranked_traffic: List[int] = field(default_factory=list)
+    # Checkpoints / per-tuple series -------------------------------------------
+    checkpoints: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    cumulative_qpl: List[int] = field(default_factory=list)
+    cumulative_storage: List[int] = field(default_factory=list)
+    answers: int = 0
+
+    # ------------------------------------------------------------------
+    # derived quantities used by the figures
+    # ------------------------------------------------------------------
+    @property
+    def messages_per_node(self) -> float:
+        """Total messages per node (Figure 2a)."""
+        return self.messages_total / self.config.num_nodes
+
+    @property
+    def ric_messages_per_node(self) -> float:
+        """RIC-related messages per node (the "Request RIC" series)."""
+        return self.ric_messages_total / self.config.num_nodes
+
+    @property
+    def messages_per_node_per_tuple(self) -> float:
+        """Tuple-phase messages per node per published tuple (Figures 3a–7a)."""
+        tuples = max(self.config.num_tuples, 1)
+        return self.messages_tuple_phase / self.config.num_nodes / tuples
+
+    @property
+    def ric_messages_per_node_per_tuple(self) -> float:
+        """Tuple-phase RIC messages per node per published tuple."""
+        tuples = max(self.config.num_tuples, 1)
+        return self.ric_messages_tuple_phase / self.config.num_nodes / tuples
+
+    def delta(
+        self,
+        metric: str,
+        at: Optional[Dict[str, float]] = None,
+        since_warmup: bool = False,
+    ) -> float:
+        """``metric`` at a snapshot (default: the final summary) minus a baseline.
+
+        ``since_warmup=True`` subtracts the post-warm-up baseline (so the
+        query-indexing phase is included); the default subtracts the
+        post-query-indexing baseline (tuple phase only).
+        """
+        snapshot = self.summary if at is None else at
+        reference = self.warmup_baseline if since_warmup else self.baseline
+        return snapshot.get(metric, 0.0) - reference.get(metric, 0.0)
+
+    def checkpoint_delta(
+        self, checkpoint: int, metric: str, since_warmup: bool = False
+    ) -> float:
+        """Baseline-adjusted value of ``metric`` at a tuple-count checkpoint."""
+        return self.delta(
+            metric, at=self.checkpoints[checkpoint], since_warmup=since_warmup
+        )
+
+    @property
+    def qpl_per_node(self) -> float:
+        """Average query processing load per node incurred by the measured tuples."""
+        return self.delta("qpl_per_node")
+
+    @property
+    def storage_per_node(self) -> float:
+        """Average (cumulative) storage load per node incurred by the measured tuples."""
+        return self.delta("storage_per_node")
+
+    @property
+    def participating_nodes(self) -> int:
+        """Nodes that incurred any query-processing load."""
+        return int(self.summary.get("participating_nodes", 0))
+
+    @property
+    def max_qpl(self) -> int:
+        """Load of the most loaded node (QPL)."""
+        return self.ranked_qpl[0] if self.ranked_qpl else 0
+
+    @property
+    def max_storage(self) -> int:
+        """Load of the most loaded node (current storage)."""
+        return self.ranked_storage_current[0] if self.ranked_storage_current else 0
+
+
+def build_engine(config: ExperimentConfig) -> RJoinEngine:
+    """Create an engine configured for ``config`` (without any workload)."""
+    rj_config = RJoinConfig(
+        num_nodes=config.num_nodes,
+        strategy=config.strategy,
+        seed=config.seed,
+        id_movement=config.id_movement,
+        tuple_gc_window=config.window,
+        # The experiments explore the full candidate space of Section 6
+        # (families (a), (b) and (c)); this is what separates the Worst and
+        # Random baselines from RJoin in Figure 2.
+        allow_attribute_level_rewrites=True,
+    )
+    return RJoinEngine(rj_config)
+
+
+def build_workload(config: ExperimentConfig) -> WorkloadGenerator:
+    """Create the workload generator matching ``config``."""
+    spec = WorkloadSpec(
+        num_relations=config.num_relations,
+        attributes_per_relation=config.attributes_per_relation,
+        value_domain=config.value_domain,
+        zipf_theta=config.zipf_theta,
+        join_arity=config.join_arity,
+        window=config.window,
+        distinct=config.distinct,
+        seed=config.seed,
+    )
+    return WorkloadGenerator(spec)
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment and return every measured series."""
+    engine = build_engine(config)
+    generator = build_workload(config)
+    engine.register_catalog(generator.catalog)
+
+    # Phase 0: warm-up tuples train the rate observations (RIC / oracle) so
+    # that query-indexing decisions are informed; their load is excluded from
+    # every reported metric through the baseline snapshot below.
+    for generated in generator.generate_tuples(config.warmup_tuples):
+        engine.publish(generated.relation, generated.values)
+    warmup_baseline = engine.metrics_summary()
+
+    # Phase 1: submit and index the continuous queries.
+    for query in generator.generate_queries(config.num_queries):
+        engine.submit(query, process=False)
+    engine.run()
+    baseline = engine.metrics_summary()
+    messages_after_queries, ric_after_queries = engine.traffic.snapshot()
+
+    # Phase 2: publish tuples, tracking checkpoints and per-tuple load.
+    checkpoints: Dict[int, Dict[str, float]] = {}
+    cumulative_qpl: List[int] = []
+    cumulative_storage: List[int] = []
+    checkpoint_set = set(config.checkpoints)
+    for index, generated in enumerate(
+        generator.tuple_stream(config.num_tuples), start=1
+    ):
+        engine.publish(generated.relation, generated.values)
+        if config.capture_per_tuple:
+            qpl_total, storage_total = engine.loads.snapshot()
+            cumulative_qpl.append(qpl_total - int(baseline.get("total_qpl", 0)))
+            cumulative_storage.append(
+                storage_total - int(baseline.get("total_storage", 0))
+            )
+        if index in checkpoint_set:
+            checkpoints[index] = engine.metrics_summary()
+
+    summary = engine.metrics_summary()
+    messages_total, ric_total = engine.traffic.snapshot()
+    per_node_traffic = [
+        counters.total for counters in engine.traffic.per_node().values()
+    ]
+    return ExperimentResult(
+        config=config,
+        summary=summary,
+        baseline=baseline,
+        warmup_baseline=warmup_baseline,
+        messages_total=messages_total,
+        ric_messages_total=ric_total,
+        messages_tuple_phase=messages_total - messages_after_queries,
+        ric_messages_tuple_phase=ric_total - ric_after_queries,
+        ranked_qpl=engine.qpl_distribution(),
+        ranked_storage=engine.loads.ranked_storage_load(),
+        ranked_storage_current=engine.storage_distribution(current=True),
+        ranked_traffic=sorted(per_node_traffic, reverse=True),
+        checkpoints=checkpoints,
+        cumulative_qpl=cumulative_qpl,
+        cumulative_storage=cumulative_storage,
+        answers=int(summary.get("answers", 0)),
+    )

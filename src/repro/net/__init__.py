@@ -1,0 +1,23 @@
+"""Discrete-event network simulation substrate.
+
+The paper's evaluation runs many Chord nodes inside a single process and
+measures message counts, query-processing load and storage load (Section 8).
+This subpackage provides the simulation kernel used for that purpose:
+
+* :class:`~repro.net.simulator.SimulationKernel` — a priority-queue
+  discrete-event scheduler with a global clock,
+* :class:`~repro.net.messages.Message` / :class:`~repro.net.messages.Envelope`
+  — the base message abstraction and its routing metadata,
+* :class:`~repro.net.stats.TrafficStats` — per-node accounting of messages
+  sent and routed (the paper's definition of network traffic).
+
+The model follows the relaxed asynchronous system model of Section 2: there
+is a known upper bound on message transmission delay; a message sent at time
+``t`` over ``h`` hops is delivered at ``t + h * hop_delay``.
+"""
+
+from repro.net.messages import Envelope, Message
+from repro.net.simulator import SimulationKernel
+from repro.net.stats import TrafficStats
+
+__all__ = ["Envelope", "Message", "SimulationKernel", "TrafficStats"]

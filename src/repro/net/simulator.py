@@ -1,0 +1,196 @@
+"""Priority-queue discrete-event simulation kernel.
+
+Every interaction in the simulated network — a message delivery, a timer, a
+garbage-collection sweep — is an *event*: a callback scheduled at a simulated
+time.  The kernel pops events in time order (ties broken by insertion order,
+which keeps runs fully deterministic for a fixed seed) and advances the
+global clock.
+
+The kernel is deliberately minimal: it knows nothing about Chord or RJoin.
+The DHT messaging API (:mod:`repro.dht.api`) schedules message deliveries on
+it, and the engine (:mod:`repro.core.engine`) advances it between tuple
+publications.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry: (time, sequence) ordering, payload not compared."""
+
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimulationKernel.schedule_at`, allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event is scheduled."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+
+class SimulationKernel:
+    """Deterministic discrete-event scheduler with a floating-point clock."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._heap: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` without processing events.
+
+        Used by the engine to model wall-clock gaps between tuple
+        publications.  Pending events scheduled before ``time`` are *not*
+        skipped: they will be processed (at their own timestamps) by the next
+        :meth:`run_until_idle` call; the clock simply never moves backwards.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot move the clock backwards from {self._now} to {time}"
+            )
+        self._now = time
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` time units."""
+        if delta < 0:
+            raise SimulationError("cannot advance the clock by a negative delta")
+        self.advance_to(self._now + delta)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past ({time} < {self._now})"
+            )
+        event = _ScheduledEvent(
+            time=time, sequence=next(self._sequence), callback=callback, args=args
+        )
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_in(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` time units."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next pending event; return False when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time > self._now:
+                self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> int:
+        """Process events until the queue is empty.
+
+        Returns the number of events processed.  ``max_events`` guards
+        against runaway event cascades (useful in tests); exceeding it raises
+        :class:`~repro.errors.SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("run_until_idle() is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while self.step():
+                processed += 1
+                if max_events is not None and processed > max_events:
+                    raise SimulationError(
+                        f"exceeded the maximum of {max_events} events"
+                    )
+        finally:
+            self._running = False
+        return processed
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Process events with timestamps up to ``time`` (inclusive)."""
+        processed = 0
+        while self._heap:
+            upcoming = self._next_pending()
+            if upcoming is None or upcoming.time > time:
+                break
+            self.step()
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise SimulationError(f"exceeded the maximum of {max_events} events")
+        self.advance_to(max(self._now, time))
+        return processed
+
+    def _next_pending(self) -> Optional[_ScheduledEvent]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of events waiting in the queue (excluding cancelled ones)."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events processed since the kernel was created."""
+        return self._events_processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationKernel(now={self._now:g}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )

@@ -1,0 +1,42 @@
+"""SQL front-end for continuous multi-way equi-join queries.
+
+The paper expresses continuous queries in SQL restricted to multi-way
+equi-joins (Section 2).  This subpackage provides:
+
+* an abstract syntax tree (:mod:`repro.sql.ast`) for the supported subset —
+  ``SELECT [DISTINCT] items FROM relations WHERE conjunction of equi-joins
+  and equality selections [WINDOW n TUPLES|TIME]``,
+* conjunctive predicate utilities (:mod:`repro.sql.predicates`), including
+  the equality-closure computation used by Section 6's candidate enumeration,
+* a tokenizer and recursive-descent parser (:mod:`repro.sql.parser`),
+* a formatter that renders an AST back to SQL text
+  (:mod:`repro.sql.formatter`).
+"""
+
+from repro.sql.ast import (
+    Constant,
+    JoinPredicate,
+    Query,
+    SelectionPredicate,
+    WindowSpec,
+)
+from repro.sql.formatter import format_query
+from repro.sql.parser import parse_query
+from repro.sql.predicates import (
+    equality_closure,
+    implied_selections,
+    predicates_for_relation,
+)
+
+__all__ = [
+    "Constant",
+    "JoinPredicate",
+    "Query",
+    "SelectionPredicate",
+    "WindowSpec",
+    "equality_closure",
+    "format_query",
+    "implied_selections",
+    "parse_query",
+    "predicates_for_relation",
+]

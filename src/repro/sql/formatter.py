@@ -1,0 +1,53 @@
+"""Render a :class:`~repro.sql.ast.Query` back to SQL text.
+
+The formatter is the inverse of :func:`repro.sql.parser.parse_query` for the
+supported subset; round-tripping is covered by property-based tests.  It is
+also used to display rewritten queries, reproducing the presentation used in
+the paper's running example (Figure 1), e.g.::
+
+    SELECT 6, M.A FROM J, M WHERE 6 = J.B AND J.C = M.C
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.data.schema import AttributeRef
+from repro.sql.ast import Constant, JoinPredicate, Query, SelectionPredicate
+
+
+def _format_operand(operand: Union[AttributeRef, Constant]) -> str:
+    if isinstance(operand, AttributeRef):
+        return f"{operand.relation}.{operand.attribute}"
+    value = operand.value
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    return str(value)
+
+
+def _format_predicate(pred: Union[JoinPredicate, SelectionPredicate]) -> str:
+    if isinstance(pred, JoinPredicate):
+        return f"{_format_operand(pred.left)} = {_format_operand(pred.right)}"
+    return f"{_format_operand(pred.attribute)} = {_format_operand(Constant(pred.value))}"
+
+
+def format_query(query: Query) -> str:
+    """Return SQL text for ``query``."""
+    parts: List[str] = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    if query.select_items:
+        parts.append(", ".join(_format_operand(item) for item in query.select_items))
+    else:
+        parts.append("*")
+    if query.relations:
+        parts.append("FROM")
+        parts.append(", ".join(query.relations))
+    predicates = [_format_predicate(p) for p in query.predicates()]
+    if predicates:
+        parts.append("WHERE")
+        parts.append(" AND ".join(predicates))
+    if query.window is not None:
+        parts.append(str(query.window))
+    return " ".join(parts)

@@ -1,0 +1,302 @@
+"""Tokenizer and recursive-descent parser for the supported SQL subset.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT [DISTINCT] select_list FROM relation_list
+                  [WHERE predicate (AND predicate)*]
+                  [WINDOW number (TUPLES | TIME)]
+    select_list:= select_item (',' select_item)*
+    select_item:= attr_ref | literal
+    relation_list := identifier (',' identifier)*
+    predicate  := operand '=' operand
+    operand    := attr_ref | literal
+    attr_ref   := identifier '.' identifier
+    literal    := integer | float | quoted string
+
+Both orientations of selections (``R.A = 5`` and ``5 = R.A``) are accepted,
+mirroring the rewritten queries shown in the paper (e.g. ``where 3 = S.A``).
+A predicate between two literals is evaluated immediately: ``5 = 5`` is
+dropped, ``5 = 6`` raises :class:`~repro.errors.UnsupportedQueryError`
+because a continuous query that can never be satisfied is almost certainly a
+user error.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple, Union
+
+from repro.data.schema import AttributeRef, Catalog
+from repro.errors import SQLSyntaxError, UnsupportedQueryError
+from repro.sql.ast import (
+    Constant,
+    JoinPredicate,
+    Query,
+    SelectionPredicate,
+    WindowSpec,
+)
+
+_KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "WINDOW",
+    "TUPLES",
+    "TIME",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<symbol>[.,=*()])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its position (for error messages)."""
+
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'symbol' | 'eof'
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into tokens, raising :class:`SQLSyntaxError` on garbage."""
+    tokens: List[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SQLSyntaxError(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group()
+        if match.lastgroup == "ident":
+            upper = value.upper()
+            if upper in _KEYWORDS:
+                tokens.append(Token("keyword", upper, match.start()))
+            else:
+                tokens.append(Token("ident", value, match.start()))
+        elif match.lastgroup == "number":
+            tokens.append(Token("number", value, match.start()))
+        elif match.lastgroup == "string":
+            tokens.append(Token("string", value, match.start()))
+        else:
+            tokens.append(Token("symbol", value, match.start()))
+    tokens.append(Token("eof", "", length))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token], text: str):
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        token = self._peek()
+        return SQLSyntaxError(
+            f"{message} at position {token.position} (near {token.text!r}) "
+            f"in query: {self._text!r}"
+        )
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._peek()
+        if token.kind != "keyword" or token.text != keyword:
+            raise self._error(f"expected {keyword}")
+        return self._advance()
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        if token.kind == "keyword" and token.text == keyword:
+            self._advance()
+            return True
+        return False
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._peek()
+        if token.kind != "symbol" or token.text != symbol:
+            raise self._error(f"expected {symbol!r}")
+        return self._advance()
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        token = self._peek()
+        if token.kind == "symbol" and token.text == symbol:
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # grammar productions
+    # ------------------------------------------------------------------
+    def parse(self) -> Query:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        select_items = self._parse_select_list()
+        self._expect_keyword("FROM")
+        relations = self._parse_relation_list()
+        join_predicates: List[JoinPredicate] = []
+        selection_predicates: List[SelectionPredicate] = []
+        if self._accept_keyword("WHERE"):
+            join_predicates, selection_predicates = self._parse_where()
+        window = self._parse_window()
+        token = self._peek()
+        if token.kind != "eof":
+            raise self._error("unexpected trailing input")
+        return Query(
+            select_items=tuple(select_items),
+            relations=tuple(relations),
+            join_predicates=tuple(join_predicates),
+            selection_predicates=tuple(selection_predicates),
+            distinct=distinct,
+            window=window,
+        )
+
+    def _parse_select_list(self) -> List[Union[AttributeRef, Constant]]:
+        items = [self._parse_operand()]
+        while self._accept_symbol(","):
+            items.append(self._parse_operand())
+        return items
+
+    def _parse_relation_list(self) -> List[str]:
+        relations = [self._parse_identifier("relation name")]
+        while self._accept_symbol(","):
+            relations.append(self._parse_identifier("relation name"))
+        return relations
+
+    def _parse_identifier(self, what: str) -> str:
+        token = self._peek()
+        if token.kind != "ident":
+            raise self._error(f"expected {what}")
+        self._advance()
+        return token.text
+
+    def _parse_operand(self) -> Union[AttributeRef, Constant]:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return Constant(_parse_number(token.text))
+        if token.kind == "string":
+            self._advance()
+            return Constant(_unquote(token.text))
+        if token.kind == "ident":
+            relation = self._advance().text
+            self._expect_symbol(".")
+            attribute = self._parse_identifier("attribute name")
+            return AttributeRef(relation, attribute)
+        raise self._error("expected an attribute reference or a literal")
+
+    def _parse_where(
+        self,
+    ) -> Tuple[List[JoinPredicate], List[SelectionPredicate]]:
+        joins: List[JoinPredicate] = []
+        selections: List[SelectionPredicate] = []
+        while True:
+            left = self._parse_operand()
+            self._expect_symbol("=")
+            right = self._parse_operand()
+            self._classify_predicate(left, right, joins, selections)
+            if not self._accept_keyword("AND"):
+                break
+        return joins, selections
+
+    @staticmethod
+    def _classify_predicate(
+        left: Union[AttributeRef, Constant],
+        right: Union[AttributeRef, Constant],
+        joins: List[JoinPredicate],
+        selections: List[SelectionPredicate],
+    ) -> None:
+        if isinstance(left, AttributeRef) and isinstance(right, AttributeRef):
+            joins.append(JoinPredicate(left, right))
+        elif isinstance(left, AttributeRef) and isinstance(right, Constant):
+            selections.append(SelectionPredicate(left, right.value))
+        elif isinstance(left, Constant) and isinstance(right, AttributeRef):
+            selections.append(SelectionPredicate(right, left.value))
+        else:
+            assert isinstance(left, Constant) and isinstance(right, Constant)
+            if left.value != right.value:
+                raise UnsupportedQueryError(
+                    f"constant predicate {left} = {right} can never be satisfied"
+                )
+            # A trivially true predicate is simply dropped.
+
+    def _parse_window(self) -> Optional[WindowSpec]:
+        if not self._accept_keyword("WINDOW"):
+            return None
+        token = self._peek()
+        if token.kind != "number":
+            raise self._error("expected a window size")
+        self._advance()
+        size = _parse_number(token.text)
+        if self._accept_keyword("TUPLES"):
+            mode = "tuples"
+        elif self._accept_keyword("TIME"):
+            mode = "time"
+        else:
+            mode = "time"
+        return WindowSpec(size=float(size), mode=mode)
+
+
+def _parse_number(text: str) -> Any:
+    """Parse a numeric literal, preferring ``int`` when exact."""
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def _unquote(text: str) -> str:
+    """Strip quotes and unescape a single-quoted SQL string literal."""
+    body = text[1:-1]
+    return body.replace("\\'", "'").replace("\\\\", "\\")
+
+
+def parse_query(
+    text: str,
+    catalog: Optional[Catalog] = None,
+    validate: bool = True,
+) -> Query:
+    """Parse SQL ``text`` into a :class:`~repro.sql.ast.Query`.
+
+    Parameters
+    ----------
+    text:
+        The SQL query text.
+    catalog:
+        When given, attribute references are validated against the catalog.
+    validate:
+        When true (the default), structural validation is performed
+        (connected join graph, relations referenced in FROM, no self-joins).
+    """
+    tokens = tokenize(text)
+    query = _Parser(tokens, text).parse()
+    if validate:
+        query.validate(catalog)
+    return query

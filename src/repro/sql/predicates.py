@@ -1,0 +1,125 @@
+"""Utilities over conjunctive where clauses.
+
+Section 6 of the paper enumerates three families of indexing candidates for a
+(rewritten) query ``q``:
+
+(a) relation-attribute pairs appearing in a join condition of ``q``,
+(b) relation-attribute-value triples appearing *explicitly* as selection
+    conditions in ``q``,
+(c) relation-attribute-value triples such that ``relation.attribute = value``
+    is *logically implied* by the where clause of ``q``.
+
+Family (c) requires computing the equality closure of the conjunction: if
+``R.A = S.B`` and ``S.B = 5`` are both present, then ``R.A = 5`` is implied.
+This module provides that closure, plus helpers used by query rewriting and
+candidate enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Set, Tuple
+
+from repro.data.schema import AttributeRef
+from repro.sql.ast import JoinPredicate, Query, SelectionPredicate
+
+
+class _UnionFind:
+    """Minimal union-find over attribute references."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[AttributeRef, AttributeRef] = {}
+
+    def find(self, item: AttributeRef) -> AttributeRef:
+        parent = self._parent.setdefault(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a: AttributeRef, b: AttributeRef) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+    def groups(self) -> List[Set[AttributeRef]]:
+        by_root: Dict[AttributeRef, Set[AttributeRef]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return list(by_root.values())
+
+
+def equality_closure(query: Query) -> List[Set[AttributeRef]]:
+    """Return the equivalence classes of attributes induced by the join predicates."""
+    uf = _UnionFind()
+    for ref in query.attribute_refs():
+        uf.find(ref)
+    for jp in query.join_predicates:
+        uf.union(jp.left, jp.right)
+    return uf.groups()
+
+
+def implied_selections(query: Query) -> List[SelectionPredicate]:
+    """Selections implied (but not stated) by the where clause — family (c).
+
+    For every equivalence class that contains an attribute constrained by an
+    explicit selection, every *other* attribute of the class inherits the
+    same constant.  Explicit selections themselves are excluded from the
+    result (those are family (b)).
+    """
+    explicit: Dict[AttributeRef, Any] = {
+        sp.attribute: sp.value for sp in query.selection_predicates
+    }
+    implied: List[SelectionPredicate] = []
+    for group in equality_closure(query):
+        values = {explicit[ref] for ref in group if ref in explicit}
+        if len(values) != 1:
+            # No constant, or contradictory constants (contradiction is
+            # detected during rewriting, not here).
+            continue
+        (value,) = values
+        for ref in sorted(group):
+            if ref not in explicit:
+                implied.append(SelectionPredicate(ref, value))
+    return implied
+
+
+def all_selections(query: Query) -> List[SelectionPredicate]:
+    """Explicit plus implied selections, without duplicates."""
+    result = list(query.selection_predicates)
+    seen = {(sp.attribute, sp.value) for sp in result}
+    for sp in implied_selections(query):
+        if (sp.attribute, sp.value) not in seen:
+            seen.add((sp.attribute, sp.value))
+            result.append(sp)
+    return result
+
+
+def predicates_for_relation(
+    query: Query, relation: str
+) -> Tuple[List[JoinPredicate], List[SelectionPredicate]]:
+    """Return the join and selection predicates of ``query`` that mention ``relation``."""
+    joins = [jp for jp in query.join_predicates if jp.references(relation)]
+    selections = [
+        sp for sp in query.selection_predicates if sp.references(relation)
+    ]
+    return joins, selections
+
+
+def is_contradictory(selections: Iterable[SelectionPredicate]) -> bool:
+    """Whether two selections constrain the same attribute to different values."""
+    seen: Dict[AttributeRef, Any] = {}
+    for sp in selections:
+        if sp.attribute in seen and seen[sp.attribute] != sp.value:
+            return True
+        seen[sp.attribute] = sp.value
+    return False
+
+
+def join_graph_edges(query: Query) -> List[Tuple[str, str]]:
+    """Return the (undirected) relation-level edges of the join graph."""
+    edges = []
+    for jp in query.join_predicates:
+        a, b = sorted((jp.left.relation, jp.right.relation))
+        edges.append((a, b))
+    return edges

@@ -1,0 +1,18 @@
+"""Workload generation for experiments and examples.
+
+The paper's workload (Section 8): a schema of 10 relations with 10 attributes
+each, every attribute drawing from a domain of 100 values; new tuples choose
+their relation and attribute values from a Zipf distribution (default
+``θ = 0.9``, i.e. highly skewed); queries are random k-way chain joins where
+adjacent joins share a relation (default 4-way).
+
+* :class:`~repro.workload.zipf.ZipfSampler` — ranked Zipf sampling,
+* :class:`~repro.workload.generator.WorkloadSpec` /
+  :class:`~repro.workload.generator.WorkloadGenerator` — schema, query and
+  tuple stream generation.
+"""
+
+from repro.workload.generator import GeneratedTuple, WorkloadGenerator, WorkloadSpec
+from repro.workload.zipf import ZipfSampler
+
+__all__ = ["GeneratedTuple", "WorkloadGenerator", "WorkloadSpec", "ZipfSampler"]

@@ -1,0 +1,160 @@
+"""Generation of the paper's experimental workload.
+
+The generator produces two things:
+
+* **continuous queries** — random k-way chain equi-joins over a uniform
+  catalog (``k`` relations, ``k - 1`` join predicates, adjacent joins share a
+  relation), optionally with a sliding window and/or DISTINCT,
+* **tuples** — a stream where the relation of every new tuple and each of its
+  attribute values are drawn from Zipf distributions (Section 8).
+
+Both are deterministic for a fixed seed, which keeps experiments and the
+property-based comparison against the reference engine reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple as TupleT
+
+from repro.data.schema import AttributeRef, Catalog
+from repro.errors import ConfigurationError
+from repro.sql.ast import JoinPredicate, Query, WindowSpec
+from repro.workload.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class GeneratedTuple:
+    """A relation name plus attribute values, ready to be published."""
+
+    relation: str
+    values: TupleT[int, ...]
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters of the synthetic workload (defaults follow Section 8)."""
+
+    num_relations: int = 10
+    attributes_per_relation: int = 10
+    value_domain: int = 100
+    zipf_theta: float = 0.9
+    join_arity: int = 4               # number of relations per query (k-way join)
+    projection_size: int = 2          # attributes in the select list
+    window: Optional[WindowSpec] = None
+    distinct: bool = False
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_relations <= 0 or self.attributes_per_relation <= 0:
+            raise ConfigurationError("catalog dimensions must be positive")
+        if self.value_domain <= 0:
+            raise ConfigurationError("the value domain must be positive")
+        if self.join_arity < 1:
+            raise ConfigurationError("queries must involve at least one relation")
+        if self.join_arity > self.num_relations:
+            raise ConfigurationError(
+                "join arity cannot exceed the number of relations "
+                "(self-joins are not supported)"
+            )
+        if self.projection_size < 1:
+            raise ConfigurationError("the select list needs at least one attribute")
+
+
+class WorkloadGenerator:
+    """Produces catalogs, query batches and tuple streams from a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: Optional[WorkloadSpec] = None):
+        self.spec = spec or WorkloadSpec()
+        self._rng = random.Random(self.spec.seed)
+        self.catalog = Catalog.uniform(
+            self.spec.num_relations, self.spec.attributes_per_relation
+        )
+        self._relation_names = self.catalog.relation_names()
+        self._relation_sampler = ZipfSampler(
+            self.spec.num_relations,
+            self.spec.zipf_theta,
+            rng=random.Random(self.spec.seed + 1),
+        )
+        self._value_sampler = ZipfSampler(
+            self.spec.value_domain,
+            self.spec.zipf_theta,
+            rng=random.Random(self.spec.seed + 2),
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def generate_query(self) -> Query:
+        """Generate one random k-way chain join query.
+
+        The chain shape matches the paper's experiments
+        (``R.A = S.B and S.C = J.F and J.C = K.D``): relations are distinct,
+        adjacent join predicates share a relation, and the joined attributes
+        are drawn uniformly at random.
+        """
+        relations = self._rng.sample(self._relation_names, self.spec.join_arity)
+        joins: List[JoinPredicate] = []
+        for left_rel, right_rel in zip(relations, relations[1:]):
+            left_attr = self._random_attribute(left_rel)
+            right_attr = self._random_attribute(right_rel)
+            joins.append(
+                JoinPredicate(
+                    AttributeRef(left_rel, left_attr),
+                    AttributeRef(right_rel, right_attr),
+                )
+            )
+        select_items = tuple(
+            AttributeRef(rel, self._random_attribute(rel))
+            for rel in self._rng.choices(relations, k=self.spec.projection_size)
+        )
+        query = Query(
+            select_items=select_items,
+            relations=tuple(relations),
+            join_predicates=tuple(joins),
+            selection_predicates=(),
+            distinct=self.spec.distinct,
+            window=self.spec.window,
+        )
+        return query.validate(self.catalog)
+
+    def generate_queries(self, count: int) -> List[Query]:
+        """Generate ``count`` independent random queries."""
+        return [self.generate_query() for _ in range(count)]
+
+    def _random_attribute(self, relation: str) -> str:
+        schema = self.catalog.get(relation)
+        return self._rng.choice(schema.attributes)
+
+    # ------------------------------------------------------------------
+    # tuples
+    # ------------------------------------------------------------------
+    def generate_tuple(self) -> GeneratedTuple:
+        """Generate one tuple: Zipf relation choice, Zipf value per attribute."""
+        relation = self._relation_names[self._relation_sampler.sample()]
+        schema = self.catalog.get(relation)
+        values = tuple(self._value_sampler.sample() for _ in schema.attributes)
+        return GeneratedTuple(relation=relation, values=values)
+
+    def generate_tuples(self, count: int) -> List[GeneratedTuple]:
+        """Generate ``count`` tuples."""
+        return [self.generate_tuple() for _ in range(count)]
+
+    def tuple_stream(self, count: Optional[int] = None) -> Iterator[GeneratedTuple]:
+        """Yield tuples lazily; infinite stream when ``count`` is None."""
+        produced = 0
+        while count is None or produced < count:
+            yield self.generate_tuple()
+            produced += 1
+
+    # ------------------------------------------------------------------
+    # derived helpers
+    # ------------------------------------------------------------------
+    def hottest_relation(self) -> str:
+        """The relation with the highest expected arrival rate (Zipf rank 0)."""
+        return self._relation_names[0]
+
+    def coldest_relation(self) -> str:
+        """The relation with the lowest expected arrival rate."""
+        return self._relation_names[-1]

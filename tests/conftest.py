@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import RJoinConfig
+from repro.core.engine import RJoinEngine
+from repro.data.schema import Catalog
+
+
+@pytest.fixture
+def small_catalog() -> Catalog:
+    """A three-relation catalog used by most engine-level tests."""
+    catalog = Catalog()
+    catalog.add_relation("R", ["a", "b"])
+    catalog.add_relation("S", ["c", "d"])
+    catalog.add_relation("T", ["e", "f"])
+    return catalog
+
+
+@pytest.fixture
+def engine(small_catalog) -> RJoinEngine:
+    """A small deterministic engine over the three-relation catalog."""
+    eng = RJoinEngine(RJoinConfig(num_nodes=16, seed=7), catalog=small_catalog)
+    return eng
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random generator."""
+    return random.Random(1234)
+
+
+def make_engine(catalog: Catalog, **config_overrides) -> RJoinEngine:
+    """Helper used by tests that need custom engine configurations."""
+    params = {"num_nodes": 16, "seed": 7}
+    params.update(config_overrides)
+    return RJoinEngine(RJoinConfig(**params), catalog=catalog)

@@ -1,0 +1,60 @@
+"""Tests for the attribute-level tuple table (ALTT)."""
+
+from repro.core.altt import AttributeLevelTupleTable
+from repro.data.schema import RelationSchema
+from repro.data.tuples import Tuple
+
+
+SCHEMA = RelationSchema("R", ["a"])
+
+
+def tup(pub_time, sequence):
+    return Tuple.from_schema(SCHEMA, (1,), pub_time=pub_time, sequence=sequence)
+
+
+class TestALTT:
+    def test_add_and_find(self):
+        table = AttributeLevelTupleTable(delta=10)
+        table.add("R.a", tup(1.0, 1), now=1.0)
+        assert len(table.find("R.a", now=2.0)) == 1
+        assert table.find("other", now=2.0) == []
+
+    def test_delta_expiry_on_find(self):
+        table = AttributeLevelTupleTable(delta=5)
+        table.add("R.a", tup(1.0, 1), now=1.0)
+        assert table.find("R.a", now=5.9)
+        assert table.find("R.a", now=7.0) == []
+
+    def test_explicit_expire_removes_entries(self):
+        table = AttributeLevelTupleTable(delta=5)
+        table.add("R.a", tup(1.0, 1), now=1.0)
+        table.add("R.a", tup(8.0, 2), now=8.0)
+        removed = table.expire(now=10.0)
+        assert removed == 1
+        assert len(table) == 1
+
+    def test_infinite_delta_keeps_everything(self):
+        table = AttributeLevelTupleTable(delta=None)
+        table.add("R.a", tup(1.0, 1), now=1.0)
+        assert table.expire(now=1e9) == 0
+        assert table.find("R.a", now=1e9)
+
+    def test_publication_time_filter(self):
+        table = AttributeLevelTupleTable(delta=None)
+        table.add("R.a", tup(pub_time=3.0, sequence=1), now=3.0)
+        table.add("R.a", tup(pub_time=9.0, sequence=2), now=9.0)
+        recent = table.find("R.a", now=10.0, published_at_or_after=5.0)
+        assert len(recent) == 1
+        assert recent[0].pub_time == 9.0
+        # The boundary is inclusive (pubT >= insT in the trigger condition).
+        assert len(table.find("R.a", now=10.0, published_at_or_after=3.0)) == 2
+
+    def test_counters_and_clear(self):
+        table = AttributeLevelTupleTable(delta=None)
+        for i in range(4):
+            table.add("k", tup(float(i), i), now=float(i))
+        assert len(table) == 4
+        assert table.cumulative_stored == 4
+        table.clear()
+        assert len(table) == 0
+        assert table.cumulative_stored == 4

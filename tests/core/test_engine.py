@@ -1,0 +1,200 @@
+"""Engine-level API tests: submission, publication, answers, metrics."""
+
+import pytest
+
+from repro.core.config import RJoinConfig
+from repro.core.engine import RJoinEngine
+from repro.errors import EngineError, QueryRegistrationError, UnknownRelationError
+from repro.sql.ast import WindowSpec
+from repro.sql.parser import parse_query
+
+
+class TestBasicJoins:
+    def test_two_way_join_single_answer(self, engine):
+        handle = engine.submit("SELECT R.a, S.d FROM R, S WHERE R.b = S.c")
+        engine.publish("R", (1, 10))
+        engine.publish("S", (10, 99))
+        assert handle.values() == [(1, 99)]
+
+    def test_two_way_join_reverse_arrival_order(self, engine):
+        handle = engine.submit("SELECT R.a, S.d FROM R, S WHERE R.b = S.c")
+        engine.publish("S", (10, 99))
+        engine.publish("R", (1, 10))
+        assert handle.values() == [(1, 99)]
+
+    def test_three_way_join_paper_style(self, engine):
+        handle = engine.submit(
+            "SELECT R.a, T.f FROM R, S, T WHERE R.b = S.c AND S.d = T.e"
+        )
+        engine.publish("R", (1, 10))
+        engine.publish("S", (10, 20))
+        engine.publish("T", (20, 99))
+        assert handle.values() == [(1, 99)]
+
+    def test_no_answer_for_non_matching_tuples(self, engine):
+        handle = engine.submit("SELECT R.a FROM R, S WHERE R.b = S.c")
+        engine.publish("R", (1, 10))
+        engine.publish("S", (11, 99))
+        assert handle.values() == []
+
+    def test_multiple_matches_bag_semantics(self, engine):
+        handle = engine.submit("SELECT R.a, S.d FROM R, S WHERE R.b = S.c")
+        engine.publish("R", (1, 10))
+        engine.publish("S", (10, 5))
+        engine.publish("S", (10, 6))
+        assert sorted(handle.values()) == [(1, 5), (1, 6)]
+
+    def test_selection_predicate(self, engine):
+        handle = engine.submit("SELECT R.a FROM R, S WHERE R.b = S.c AND S.d = 7")
+        engine.publish("R", (1, 10))
+        engine.publish("S", (10, 7))
+        engine.publish("S", (10, 8))
+        assert handle.values() == [(1,)]
+
+    def test_single_relation_filter_query(self, engine):
+        handle = engine.submit("SELECT R.a FROM R WHERE R.b = 3")
+        engine.publish("R", (1, 3))
+        engine.publish("R", (2, 4))
+        assert handle.values() == [(1,)]
+
+    def test_tuples_before_submission_do_not_count(self, engine):
+        engine.publish("R", (1, 10))
+        handle = engine.submit("SELECT R.a, S.d FROM R, S WHERE R.b = S.c")
+        engine.publish("S", (10, 99))
+        assert handle.values() == []
+
+    def test_multiple_queries_share_tuples(self, engine):
+        first = engine.submit("SELECT R.a FROM R, S WHERE R.b = S.c")
+        second = engine.submit("SELECT S.d FROM R, S WHERE R.b = S.c")
+        engine.publish("R", (1, 10))
+        engine.publish("S", (10, 42))
+        assert first.values() == [(1,)]
+        assert second.values() == [(42,)]
+
+    def test_distinct_query(self, engine):
+        handle = engine.submit(
+            "SELECT DISTINCT R.a, S.d FROM R, S WHERE R.b = S.c"
+        )
+        engine.publish("R", (1, 10))
+        engine.publish("R", (1, 10))
+        engine.publish("S", (10, 5))
+        assert handle.distinct_values() == {(1, 5)}
+        assert len(handle.values()) == 1
+
+
+class TestEngineApi:
+    def test_submit_accepts_parsed_queries(self, engine, small_catalog):
+        query = parse_query(
+            "SELECT R.a FROM R, S WHERE R.b = S.c", catalog=small_catalog
+        )
+        handle = engine.submit(query)
+        assert handle.query == query
+
+    def test_submit_with_window_override(self, engine):
+        handle = engine.submit(
+            "SELECT R.a FROM R, S WHERE R.b = S.c",
+            window=WindowSpec(size=5, mode="tuples"),
+        )
+        assert handle.query.window.size == 5
+
+    def test_submit_with_explicit_owner(self, engine):
+        owner = engine.ring.addresses[0]
+        handle = engine.submit("SELECT R.a FROM R", owner=owner)
+        assert handle.owner == owner
+        assert handle.query_id.startswith(owner)
+
+    def test_submit_unknown_owner_rejected(self, engine):
+        with pytest.raises(QueryRegistrationError):
+            engine.submit("SELECT R.a FROM R", owner="nope")
+
+    def test_publish_unknown_relation_rejected(self, engine):
+        with pytest.raises(UnknownRelationError):
+            engine.publish("ZZ", (1,))
+
+    def test_publish_unknown_publisher_rejected(self, engine):
+        with pytest.raises(EngineError):
+            engine.publish("R", (1, 2), publisher="ghost")
+
+    def test_publish_many(self, engine):
+        handle = engine.submit("SELECT R.a FROM R, S WHERE R.b = S.c")
+        engine.publish_many([("R", (1, 10)), ("S", (10, 3))], process_each=False)
+        assert handle.values() == [(1,)]
+
+    def test_handles_registry(self, engine):
+        handle = engine.submit("SELECT R.a FROM R")
+        assert engine.handle(handle.query_id) is handle
+        assert handle.query_id in engine.handles
+        with pytest.raises(EngineError):
+            engine.handle("missing")
+
+    def test_query_ids_are_unique(self, engine):
+        ids = {engine.submit("SELECT R.a FROM R").query_id for _ in range(5)}
+        assert len(ids) == 5
+
+    def test_tick_advances_clock(self, engine):
+        before = engine.now
+        engine.tick(5.0)
+        assert engine.now == before + 5.0
+
+    def test_register_relation(self, engine):
+        engine.register_relation("U", ["x"])
+        handle = engine.submit("SELECT U.x FROM U")
+        engine.publish("U", (7,))
+        assert handle.values() == [(7,)]
+
+
+class TestMetrics:
+    def test_summary_keys_and_consistency(self, engine):
+        engine.submit("SELECT R.a FROM R, S WHERE R.b = S.c")
+        engine.publish("R", (1, 10))
+        engine.publish("S", (10, 3))
+        summary = engine.metrics_summary()
+        assert summary["nodes"] == 16
+        assert summary["published_tuples"] == 2
+        assert summary["submitted_queries"] == 1
+        assert summary["answers"] == 1
+        assert summary["total_messages"] > 0
+        assert summary["total_qpl"] > 0
+        assert summary["total_storage"] > 0
+        assert summary["messages_per_node"] == pytest.approx(
+            summary["total_messages"] / 16
+        )
+
+    def test_tuple_publication_costs_messages(self, engine):
+        before = engine.traffic.total_messages
+        engine.publish("R", (1, 2))
+        # 2 keys per attribute, 2 attributes, each routed over >= 0 hops; at
+        # least some messages must have been transmitted in a 16-node ring.
+        assert engine.traffic.total_messages > before
+
+    def test_distributions_cover_all_nodes_or_less(self, engine):
+        engine.submit("SELECT R.a FROM R, S WHERE R.b = S.c")
+        engine.publish("R", (1, 10))
+        assert len(engine.qpl_distribution()) <= 16
+        assert all(a >= b for a, b in zip(engine.qpl_distribution(), engine.qpl_distribution()[1:]))
+
+    def test_storage_distribution_current_vs_cumulative(self, engine):
+        engine.submit("SELECT R.a FROM R, S WHERE R.b = S.c")
+        engine.publish("R", (1, 10))
+        current = sum(engine.storage_distribution(current=True))
+        cumulative = sum(engine.storage_distribution(current=False))
+        assert current <= cumulative
+
+
+class TestStrategiesProduceSameAnswers:
+    @pytest.mark.parametrize("strategy", ["rjoin", "first"])
+    def test_value_level_strategies_complete(self, small_catalog, strategy):
+        config = RJoinConfig(
+            num_nodes=16,
+            seed=3,
+            strategy=strategy,
+            allow_attribute_level_rewrites=False,
+        )
+        engine = RJoinEngine(config, catalog=small_catalog)
+        handle = engine.submit(
+            "SELECT R.a, T.f FROM R, S, T WHERE R.b = S.c AND S.d = T.e"
+        )
+        engine.publish("R", (1, 10))
+        engine.publish("S", (10, 20))
+        engine.publish("T", (20, 99))
+        assert handle.values() == [(1, 99)]

@@ -1,0 +1,90 @@
+"""Tests for the id-movement integration (Figure 9 machinery)."""
+
+import pytest
+
+from repro.core.config import RJoinConfig
+from repro.core.engine import RJoinEngine
+from repro.core.reference import ReferenceEngine
+from repro.errors import EngineError
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+
+def build(seed=5, **overrides):
+    spec = WorkloadSpec(
+        num_relations=4, attributes_per_relation=3, value_domain=4, join_arity=3,
+        seed=seed,
+    )
+    generator = WorkloadGenerator(spec)
+    params = dict(num_nodes=16, seed=seed)
+    params.update(overrides)
+    engine = RJoinEngine(RJoinConfig(**params))
+    engine.register_catalog(generator.catalog)
+    return generator, engine
+
+
+class TestIdMovement:
+    def test_rebalance_requires_enabled_config(self):
+        _, engine = build(id_movement=False)
+        with pytest.raises(EngineError):
+            engine.rebalance()
+
+    def test_rebalance_moves_nodes_and_rehomes_state(self):
+        generator, engine = build(id_movement=True, rebalance_every_tuples=10_000)
+        for query in generator.generate_queries(6):
+            engine.submit(query)
+        for generated in generator.generate_tuples(30):
+            engine.publish(generated.relation, generated.values)
+        moves = engine.rebalance()
+        assert moves >= 0
+        # After re-homing, every stored item lives at the node responsible for its key.
+        for node in engine.nodes.values():
+            for key_text in list(node.input_queries) + list(node.rewritten_queries):
+                assert engine.ring.owner_of_key(key_text).address == node.address
+            for key_text in node.tuple_store.keys():
+                assert engine.ring.owner_of_key(key_text).address == node.address
+
+    def test_answers_preserved_with_periodic_rebalancing(self):
+        """Id movement is transparent to query results (same answers as the oracle)."""
+        spec = WorkloadSpec(
+            num_relations=4, attributes_per_relation=3, value_domain=3, join_arity=3,
+            seed=21,
+        )
+        generator = WorkloadGenerator(spec)
+        engine = RJoinEngine(
+            RJoinConfig(num_nodes=16, seed=21, id_movement=True, rebalance_every_tuples=10)
+        )
+        engine.register_catalog(generator.catalog)
+        reference = ReferenceEngine(generator.catalog)
+        handles = []
+        for query in generator.generate_queries(6):
+            handle = engine.submit(query)
+            reference.submit(
+                query, query_id=handle.query_id, insertion_time=handle.insertion_time
+            )
+            handles.append(handle)
+        for generated in generator.generate_tuples(50):
+            tup = engine.publish(generated.relation, generated.values)
+            reference.publish_tuple(tup)
+        for handle in handles:
+            got = sorted(repr(v) for v in handle.values())
+            expected = sorted(repr(v) for v in reference.answers(handle.query_id))
+            assert got == expected
+
+    def test_rebalancing_reduces_peak_storage(self):
+        """The most loaded node should not get worse when id movement is enabled."""
+        def peak_storage(id_movement):
+            generator, engine = build(
+                seed=33,
+                id_movement=id_movement,
+                rebalance_every_tuples=10,
+            )
+            for query in generator.generate_queries(10):
+                engine.submit(query)
+            for generated in generator.generate_tuples(60):
+                engine.publish(generated.relation, generated.values)
+            distribution = engine.storage_distribution(current=True)
+            return distribution[0] if distribution else 0
+
+        with_movement = peak_storage(True)
+        without_movement = peak_storage(False)
+        assert with_movement <= without_movement

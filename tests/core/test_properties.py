@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.keys import value_key
+from repro.core.rewriting import rewrite_query
+from repro.core.windows import WindowState, admits, combination_valid, extend
+from repro.core.config import RJoinConfig
+from repro.core.engine import RJoinEngine
+from repro.core.reference import ReferenceEngine
+from repro.data.schema import AttributeRef, Catalog
+from repro.data.tuples import Tuple
+from repro.dht.hashing import IdentifierSpace
+from repro.dht.ring import RingMap
+from repro.sql.ast import JoinPredicate, Query, SelectionPredicate, WindowSpec
+
+
+# ---------------------------------------------------------------------------
+# Identifier space / ring properties
+# ---------------------------------------------------------------------------
+@given(st.integers(min_value=0), st.integers(min_value=0), st.integers(min_value=0))
+def test_ring_distance_triangle_identity(a, b, c):
+    """Clockwise distances around the circle compose modulo the circle size."""
+    space = IdentifierSpace(16)
+    total = (space.distance(a, b) + space.distance(b, c)) % space.size
+    assert total == space.distance(a, c)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=2**16 - 1), min_size=1, max_size=40),
+       st.integers(min_value=0, max_value=2**16 - 1))
+def test_ring_successor_is_owner(ids, probe):
+    """successor(k) is the first identifier at or after k (wrapping around)."""
+    space = IdentifierSpace(16)
+    ring = RingMap(space)
+    for identifier in ids:
+        ring.insert(identifier, f"n{identifier}")
+    owner_id, _ = ring.successor(probe)
+    candidates = sorted(ids)
+    expected = next((i for i in candidates if i >= probe), candidates[0])
+    assert owner_id == expected
+
+
+@given(st.text(min_size=0, max_size=20))
+def test_hash_is_stable_and_bounded(key):
+    space = IdentifierSpace(32)
+    assert 0 <= space.hash_key(key) < space.size
+    assert space.hash_key(key) == space.hash_key(key)
+
+
+# ---------------------------------------------------------------------------
+# Rewriting properties
+# ---------------------------------------------------------------------------
+_catalog = Catalog()
+_catalog.add_relation("R", ["a", "b"])
+_catalog.add_relation("S", ["a", "b"])
+
+_small_values = st.integers(min_value=0, max_value=3)
+
+
+@given(_small_values, _small_values, _small_values)
+def test_rewrite_reduces_arity_or_dies(r_a, r_b, sel_value):
+    query = Query(
+        select_items=(AttributeRef("R", "a"), AttributeRef("S", "b")),
+        relations=("R", "S"),
+        join_predicates=(JoinPredicate(AttributeRef("R", "b"), AttributeRef("S", "a")),),
+        selection_predicates=(SelectionPredicate(AttributeRef("R", "a"), sel_value),),
+    )
+    tup = Tuple.from_schema(_catalog.get("R"), (r_a, r_b))
+    result = rewrite_query(query, tup, _catalog.get("R"))
+    if r_a != sel_value:
+        assert result.dead
+    else:
+        assert result.query.arity == 1
+        assert all(
+            sp.attribute.relation != "R" for sp in result.query.selection_predicates
+        )
+        # The derived selection carries the joined value.
+        assert SelectionPredicate(AttributeRef("S", "a"), r_b) in result.query.selection_predicates
+
+
+@given(st.lists(st.tuples(_small_values, _small_values), min_size=2, max_size=2))
+def test_rewrite_order_independence(values):
+    """Consuming R then S yields the same answer as S then R."""
+    (r_a, r_b), (s_a, s_b) = values
+    query = Query(
+        select_items=(AttributeRef("R", "a"), AttributeRef("S", "b")),
+        relations=("R", "S"),
+        join_predicates=(JoinPredicate(AttributeRef("R", "b"), AttributeRef("S", "a")),),
+    )
+    r_tup = Tuple.from_schema(_catalog.get("R"), (r_a, r_b))
+    s_tup = Tuple.from_schema(_catalog.get("S"), (s_a, s_b))
+
+    def consume(order):
+        current = query
+        for tup in order:
+            outcome = rewrite_query(current, tup, _catalog.get(tup.relation))
+            if outcome.dead:
+                return None
+            current = outcome.query
+        return current.answer_values() if current.is_complete() else None
+
+    assert consume([r_tup, s_tup]) == consume([s_tup, r_tup])
+
+
+# ---------------------------------------------------------------------------
+# Window properties
+# ---------------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=6),
+       st.integers(min_value=1, max_value=10))
+def test_incremental_window_equals_global_check(clocks, size):
+    """Incremental admission accepts a combination iff the global span fits."""
+    window = WindowSpec(size=float(size), mode="time")
+    state = None
+    ok = True
+    for clock in clocks:
+        tup = Tuple(relation="R", values=(1,), pub_time=float(clock))
+        if not admits(window, state, tup):
+            ok = False
+            break
+        state = extend(window, state, tup)
+    assert ok == combination_valid(window, tuple(float(c) for c in clocks))
+
+
+@given(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=50))
+def test_window_state_extension_is_commutative(a, b):
+    base = WindowState(min_clock=10, max_clock=10)
+    assert base.extended_with(a).extended_with(b) == base.extended_with(b).extended_with(a)
+
+
+# ---------------------------------------------------------------------------
+# Key properties
+# ---------------------------------------------------------------------------
+@given(st.text(min_size=1, max_size=8), st.text(min_size=1, max_size=8),
+       st.integers(min_value=0, max_value=99))
+def test_value_keys_extend_their_attribute_prefix(relation, attribute, value):
+    key = value_key(relation, attribute, value)
+    assert key.text.startswith(key.attribute_prefix)
+    assert key.at_attribute_level().text != key.text
+
+
+# ---------------------------------------------------------------------------
+# End-to-end equivalence on tiny random workloads
+# ---------------------------------------------------------------------------
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=10, max_value=25))
+def test_engine_matches_reference_on_random_workloads(seed, num_tuples):
+    """RJoin delivers exactly the oracle's bag of answers (Theorems 1 and 2)."""
+    rng = random.Random(seed)
+    catalog = Catalog()
+    catalog.add_relation("A", ["x", "y"])
+    catalog.add_relation("B", ["x", "y"])
+    catalog.add_relation("C", ["x", "y"])
+    engine = RJoinEngine(RJoinConfig(num_nodes=12, seed=seed % 97), catalog=catalog)
+    reference = ReferenceEngine(catalog)
+
+    query = Query(
+        select_items=(AttributeRef("A", "x"), AttributeRef("C", "y")),
+        relations=("A", "B", "C"),
+        join_predicates=(
+            JoinPredicate(AttributeRef("A", "y"), AttributeRef("B", "x")),
+            JoinPredicate(AttributeRef("B", "y"), AttributeRef("C", "x")),
+        ),
+    )
+    handle = engine.submit(query)
+    reference.submit(query, query_id=handle.query_id, insertion_time=handle.insertion_time)
+
+    relations = ["A", "B", "C"]
+    for _ in range(num_tuples):
+        relation = rng.choice(relations)
+        values = (rng.randint(0, 2), rng.randint(0, 2))
+        tup = engine.publish(relation, values)
+        reference.publish_tuple(tup)
+
+    got = sorted(repr(v) for v in handle.values())
+    expected = sorted(repr(v) for v in reference.answers(handle.query_id))
+    assert got == expected

@@ -1,0 +1,84 @@
+"""Tests for RIC bookkeeping: rate tracking, candidate table, piggy-backing."""
+
+from repro.core.ric import CandidateTable, RateTracker, RicEntry, merge_ric_info
+
+
+class TestRateTracker:
+    def test_cumulative_counting(self):
+        tracker = RateTracker(window=None)
+        for t in range(5):
+            tracker.record("k", now=float(t))
+        assert tracker.rate("k", now=100.0) == 5.0
+        assert tracker.total("k") == 5
+        assert tracker.rate("unknown", now=0.0) == 0.0
+
+    def test_windowed_counting(self):
+        tracker = RateTracker(window=10.0)
+        tracker.record("k", now=0.0)
+        tracker.record("k", now=5.0)
+        tracker.record("k", now=12.0)
+        assert tracker.rate("k", now=12.0) == 2.0   # 5.0 and 12.0 remain
+        assert tracker.rate("k", now=30.0) == 0.0
+        assert tracker.total("k") == 3
+
+    def test_tracked_keys(self):
+        tracker = RateTracker()
+        tracker.record("a", 0.0)
+        tracker.record("b", 0.0)
+        assert sorted(tracker.tracked_keys()) == ["a", "b"]
+
+
+class TestRicEntry:
+    def test_freshness(self):
+        entry = RicEntry(key_text="k", rate=1.0, address="n", observed_at=10.0)
+        assert entry.is_fresh(now=15.0, freshness=5.0)
+        assert not entry.is_fresh(now=16.0, freshness=5.0)
+        assert entry.is_fresh(now=1e9, freshness=None)
+
+
+class TestCandidateTable:
+    def entry(self, key="k", rate=1.0, address="n", observed_at=0.0):
+        return RicEntry(key_text=key, rate=rate, address=address, observed_at=observed_at)
+
+    def test_update_keeps_most_recent(self):
+        table = CandidateTable()
+        table.update(self.entry(rate=1.0, observed_at=1.0))
+        table.update(self.entry(rate=9.0, observed_at=5.0))
+        table.update(self.entry(rate=3.0, observed_at=2.0))  # older, ignored
+        assert table.lookup("k", now=10.0).rate == 9.0
+
+    def test_lookup_respects_freshness(self):
+        table = CandidateTable(freshness=5.0)
+        table.update(self.entry(observed_at=0.0))
+        assert table.lookup("k", now=4.0) is not None
+        assert table.lookup("k", now=6.0) is None
+        assert table.hits == 1
+        assert table.misses == 1
+
+    def test_address_survives_staleness(self):
+        table = CandidateTable(freshness=1.0)
+        table.update(self.entry(address="node-9", observed_at=0.0))
+        assert table.lookup("k", now=100.0) is None
+        assert table.address_of("k") == "node-9"
+        assert table.address_of("unknown") is None
+
+    def test_update_many_and_len(self):
+        table = CandidateTable()
+        table.update_many([self.entry(key="a"), self.entry(key="b")])
+        assert len(table) == 2
+
+
+class TestMergeRicInfo:
+    def test_most_recent_entry_wins(self):
+        older = RicEntry("k", 1.0, "n1", observed_at=1.0)
+        newer = RicEntry("k", 2.0, "n2", observed_at=5.0)
+        merged = merge_ric_info({"k": older}, [newer])
+        assert merged["k"] is newer
+        merged_back = merge_ric_info({"k": newer}, [older])
+        assert merged_back["k"] is newer
+
+    def test_disjoint_keys_union(self):
+        a = RicEntry("a", 1.0, "n", 0.0)
+        b = RicEntry("b", 1.0, "n", 0.0)
+        merged = merge_ric_info({"a": a}, [b])
+        assert set(merged) == {"a", "b"}

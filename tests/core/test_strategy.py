@@ -1,0 +1,157 @@
+"""Tests for candidate enumeration and the four indexing strategies."""
+
+import random
+
+import pytest
+
+from repro.core.keys import attribute_key, value_key
+from repro.core.strategy import (
+    FirstCandidateStrategy,
+    RJoinStrategy,
+    RandomStrategy,
+    WorstStrategy,
+    available_strategies,
+    input_query_candidates,
+    make_strategy,
+    rewritten_query_candidates,
+)
+from repro.errors import ConfigurationError
+from repro.sql.parser import parse_query
+
+
+def rng():
+    return random.Random(0)
+
+
+class TestInputCandidates:
+    def test_candidates_cover_every_where_clause_pair(self):
+        query = parse_query(
+            "SELECT R.a FROM R, S, T WHERE R.a = S.b AND S.c = T.d", validate=False
+        )
+        candidates = input_query_candidates(query)
+        assert attribute_key("R", "a") in candidates
+        assert attribute_key("S", "b") in candidates
+        assert attribute_key("S", "c") in candidates
+        assert attribute_key("T", "d") in candidates
+        assert all(not key.is_value_level for key in candidates)
+
+    def test_selection_pairs_included(self):
+        query = parse_query("SELECT R.a FROM R WHERE R.b = 5", validate=False)
+        assert attribute_key("R", "b") in input_query_candidates(query)
+
+    def test_fallback_to_select_list(self):
+        query = parse_query("SELECT R.a FROM R")
+        assert input_query_candidates(query) == [attribute_key("R", "a")]
+
+    def test_no_duplicates(self):
+        query = parse_query(
+            "SELECT R.a FROM R, S WHERE R.a = S.b AND R.a = S.c", validate=False
+        )
+        candidates = input_query_candidates(query)
+        assert len(candidates) == len(set(candidates))
+
+
+class TestRewrittenCandidates:
+    def test_value_level_from_explicit_and_implied_selections(self):
+        query = parse_query(
+            "SELECT S.a FROM S, T WHERE S.b = 3 AND S.c = T.d AND T.d = 7",
+            validate=False,
+        )
+        candidates = rewritten_query_candidates(query, allow_attribute_level=False)
+        assert value_key("S", "b", 3) in candidates
+        assert value_key("T", "d", 7) in candidates
+        # implied: S.c = 7 through S.c = T.d = 7
+        assert value_key("S", "c", 7) in candidates
+        assert all(key.is_value_level for key in candidates)
+
+    def test_attribute_level_family_included_when_allowed(self):
+        query = parse_query(
+            "SELECT S.a FROM S, T WHERE S.b = 3 AND S.c = T.d", validate=False
+        )
+        with_attr = rewritten_query_candidates(query, allow_attribute_level=True)
+        without = rewritten_query_candidates(query, allow_attribute_level=False)
+        assert attribute_key("S", "c") in with_attr
+        assert attribute_key("T", "d") in with_attr
+        assert attribute_key("S", "c") not in without
+
+    def test_value_candidates_only_for_remaining_relations(self):
+        query = parse_query(
+            "SELECT S.a FROM S WHERE S.b = 3", validate=False
+        )
+        candidates = rewritten_query_candidates(query)
+        assert candidates == [value_key("S", "b", 3)]
+
+    def test_fallback_when_no_selections(self):
+        query = parse_query("SELECT S.a FROM S, T WHERE S.b = T.c", validate=False)
+        candidates = rewritten_query_candidates(query, allow_attribute_level=False)
+        assert candidates  # falls back to attribute-level pairs
+        assert all(not key.is_value_level for key in candidates)
+
+
+class TestStrategies:
+    def setup_method(self):
+        self.candidates = [
+            attribute_key("R", "a"),
+            value_key("S", "b", 1),
+            value_key("T", "c", 2),
+        ]
+        self.rates = {
+            self.candidates[0].text: 50.0,
+            self.candidates[1].text: 5.0,
+            self.candidates[2].text: 1.0,
+        }
+
+    def test_rjoin_picks_lowest_rate(self):
+        assert RJoinStrategy().choose(self.candidates, self.rates, rng()) == self.candidates[2]
+
+    def test_rjoin_tie_break_prefers_value_level(self):
+        rates = {key.text: 0.0 for key in self.candidates}
+        chosen = RJoinStrategy().choose(self.candidates, rates, rng())
+        assert chosen.is_value_level
+
+    def test_worst_picks_highest_rate(self):
+        assert WorstStrategy().choose(self.candidates, self.rates, rng()) == self.candidates[0]
+
+    def test_worst_tie_break_prefers_attribute_level(self):
+        rates = {key.text: 0.0 for key in self.candidates}
+        chosen = WorstStrategy().choose(self.candidates, rates, rng())
+        assert not chosen.is_value_level
+
+    def test_random_is_uniform_over_candidates(self):
+        strategy = RandomStrategy()
+        seen = {strategy.choose(self.candidates, {}, random.Random(i)).text for i in range(50)}
+        assert len(seen) == len(self.candidates)
+
+    def test_first_picks_document_order(self):
+        assert FirstCandidateStrategy().choose(self.candidates, self.rates, rng()) == self.candidates[0]
+
+    def test_missing_rates_default_to_zero(self):
+        chosen = RJoinStrategy().choose(self.candidates, {}, rng())
+        assert chosen.is_value_level
+
+    def test_empty_candidates_rejected(self):
+        for strategy in (RJoinStrategy(), WorstStrategy(), RandomStrategy(), FirstCandidateStrategy()):
+            with pytest.raises(ConfigurationError):
+                strategy.choose([], {}, rng())
+
+    def test_requires_ric_flags(self):
+        assert RJoinStrategy().requires_ric
+        assert not WorstStrategy().requires_ric
+        assert WorstStrategy().uses_oracle
+        assert not RandomStrategy().requires_ric
+        assert not FirstCandidateStrategy().uses_oracle
+
+
+class TestFactory:
+    def test_make_strategy_by_name(self):
+        assert isinstance(make_strategy("rjoin"), RJoinStrategy)
+        assert isinstance(make_strategy("WORST"), WorstStrategy)
+        assert isinstance(make_strategy("random"), RandomStrategy)
+        assert isinstance(make_strategy("first"), FirstCandidateStrategy)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_strategy("optimal")
+
+    def test_available_strategies(self):
+        assert set(available_strategies()) == {"first", "random", "rjoin", "worst"}

@@ -1,0 +1,107 @@
+"""Tests for sliding-window validity and garbage collection."""
+
+import pytest
+
+from repro.core.windows import (
+    WindowState,
+    admits,
+    combination_valid,
+    expired,
+    extend,
+    initial_state,
+    tuple_expired,
+)
+from repro.data.schema import RelationSchema
+from repro.data.tuples import Tuple
+from repro.sql.ast import WindowSpec
+
+
+SCHEMA = RelationSchema("R", ["a"])
+
+
+def tup(pub_time, sequence=0):
+    return Tuple.from_schema(SCHEMA, (1,), pub_time=pub_time, sequence=sequence)
+
+
+class TestWindowState:
+    def test_span_uses_plus_one_convention(self):
+        state = WindowState(min_clock=3, max_clock=7)
+        assert state.span == 5
+
+    def test_extension_updates_bounds(self):
+        state = WindowState(min_clock=3, max_clock=7)
+        assert state.extended_with(1) == WindowState(1, 7)
+        assert state.extended_with(9) == WindowState(3, 9)
+        assert state.extended_with(5) == state
+
+
+class TestAdmission:
+    def test_windowless_always_admits(self):
+        assert admits(None, None, tup(100))
+        assert extend(None, None, tup(100)) is None
+
+    def test_first_tuple_always_admitted(self):
+        window = WindowSpec(size=5, mode="time")
+        assert admits(window, None, tup(1000))
+        state = extend(window, None, tup(1000))
+        assert state == WindowState(1000, 1000)
+        assert initial_state(window, tup(1000)) == state
+
+    def test_within_window_admitted(self):
+        window = WindowSpec(size=5, mode="time")
+        state = initial_state(window, tup(10))
+        assert admits(window, state, tup(14))      # span 5 <= 5
+        assert not admits(window, state, tup(15))  # span 6 > 5
+
+    def test_order_independence(self):
+        window = WindowSpec(size=5, mode="time")
+        state = initial_state(window, tup(14))
+        assert admits(window, state, tup(10))
+        assert not admits(window, state, tup(9))
+
+    def test_tuple_mode_uses_sequence_numbers(self):
+        window = WindowSpec(size=3, mode="tuples")
+        state = initial_state(window, tup(0.0, sequence=10))
+        assert admits(window, state, tup(99.0, sequence=12))
+        assert not admits(window, state, tup(0.1, sequence=14))
+
+
+class TestExpiry:
+    def test_expired_when_oldest_tuple_out_of_reach(self):
+        window = WindowSpec(size=5, mode="time")
+        state = WindowState(min_clock=10, max_clock=12)
+        assert not expired(window, state, current_clock=14)
+        assert expired(window, state, current_clock=15)
+
+    def test_windowless_never_expires(self):
+        assert not expired(None, WindowState(0, 0), current_clock=1e9)
+        assert not expired(WindowSpec(size=5), None, current_clock=1e9)
+
+    def test_tuple_expired(self):
+        window = WindowSpec(size=5, mode="time")
+        assert not tuple_expired(window, tup(10), current_clock=14)
+        assert tuple_expired(window, tup(10), current_clock=15)
+        assert not tuple_expired(None, tup(10), current_clock=1e9)
+
+
+class TestCombinationValidity:
+    def test_combination_valid(self):
+        window = WindowSpec(size=5, mode="time")
+        assert combination_valid(window, (10, 12, 14))
+        assert not combination_valid(window, (10, 16))
+        assert combination_valid(window, ())
+        assert combination_valid(None, (0, 1e9))
+
+    def test_consistency_with_incremental_admission(self):
+        """Incremental admits() accepts exactly the combinations combination_valid() does."""
+        window = WindowSpec(size=4, mode="time")
+        clocks = [3, 5, 6, 8]
+        state = None
+        admitted_all = True
+        for clock in clocks:
+            candidate = tup(clock)
+            if not admits(window, state, candidate):
+                admitted_all = False
+                break
+            state = extend(window, state, candidate)
+        assert admitted_all == combination_valid(window, tuple(clocks))

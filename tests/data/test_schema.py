@@ -1,0 +1,109 @@
+"""Tests for relation schemas and the catalog."""
+
+import pytest
+
+from repro.data.schema import AttributeRef, Catalog, RelationSchema, ensure_catalog
+from repro.errors import SchemaError, UnknownAttributeError, UnknownRelationError
+
+
+class TestRelationSchema:
+    def test_basic_properties(self):
+        schema = RelationSchema("R", ["a", "b", "c"])
+        assert schema.name == "R"
+        assert schema.arity == 3
+        assert schema.attributes == ("a", "b", "c")
+
+    def test_position_lookup(self):
+        schema = RelationSchema("R", ["a", "b", "c"])
+        assert schema.position_of("a") == 0
+        assert schema.position_of("c") == 2
+
+    def test_unknown_attribute_raises(self):
+        schema = RelationSchema("R", ["a"])
+        with pytest.raises(UnknownAttributeError):
+            schema.position_of("zzz")
+
+    def test_has_attribute(self):
+        schema = RelationSchema("R", ["a", "b"])
+        assert schema.has_attribute("a")
+        assert not schema.has_attribute("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ["a"])
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "a"])
+
+    def test_attribute_refs(self):
+        schema = RelationSchema("R", ["a", "b"])
+        refs = schema.attribute_refs()
+        assert refs == [AttributeRef("R", "a"), AttributeRef("R", "b")]
+
+    def test_equality_and_hash(self):
+        first = RelationSchema("R", ["a", "b"])
+        second = RelationSchema("R", ["a", "b"])
+        third = RelationSchema("R", ["a", "c"])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != third
+
+
+class TestCatalog:
+    def test_add_and_get(self):
+        catalog = Catalog()
+        catalog.add_relation("R", ["a"])
+        assert catalog.get("R").arity == 1
+        assert "R" in catalog
+        assert len(catalog) == 1
+
+    def test_unknown_relation_raises(self):
+        catalog = Catalog()
+        with pytest.raises(UnknownRelationError):
+            catalog.get("missing")
+
+    def test_conflicting_schema_rejected(self):
+        catalog = Catalog()
+        catalog.add_relation("R", ["a"])
+        with pytest.raises(SchemaError):
+            catalog.add_relation("R", ["a", "b"])
+
+    def test_identical_reregistration_is_noop(self):
+        catalog = Catalog()
+        catalog.add_relation("R", ["a"])
+        catalog.add_relation("R", ["a"])
+        assert len(catalog) == 1
+
+    def test_uniform_catalog_matches_paper_dimensions(self):
+        catalog = Catalog.uniform(10, 10)
+        assert len(catalog) == 10
+        for schema in catalog:
+            assert schema.arity == 10
+
+    def test_validate_ref(self):
+        catalog = Catalog.uniform(2, 2)
+        catalog.validate_ref(AttributeRef("R0", "a1"))
+        with pytest.raises(UnknownAttributeError):
+            catalog.validate_ref(AttributeRef("R0", "zzz"))
+        with pytest.raises(UnknownRelationError):
+            catalog.validate_ref(AttributeRef("ZZ", "a0"))
+
+    def test_relation_names_order(self):
+        catalog = Catalog.uniform(3, 1)
+        assert catalog.relation_names() == ["R0", "R1", "R2"]
+
+    def test_ensure_catalog(self):
+        catalog = ensure_catalog(None, [RelationSchema("R", ["a"])])
+        assert "R" in catalog
+        same = ensure_catalog(catalog)
+        assert same is catalog
+
+    def test_attribute_ref_ordering(self):
+        assert AttributeRef("R", "a") < AttributeRef("R", "b")
+        assert AttributeRef("R", "a") < AttributeRef("S", "a")
+        assert str(AttributeRef("R", "a")) == "R.a"

@@ -1,0 +1,86 @@
+"""Tests for the per-node tuple store."""
+
+import pytest
+
+from repro.data.schema import RelationSchema
+from repro.data.store import TupleStore
+from repro.data.tuples import Tuple
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("R", ["a", "b"])
+
+
+def make_tuple(schema, values, seq, pub_time=0.0):
+    return Tuple.from_schema(schema, values, pub_time=pub_time, sequence=seq)
+
+
+class TestTupleStore:
+    def test_add_and_lookup_by_key(self, schema):
+        store = TupleStore()
+        tup = make_tuple(schema, (1, 2), 1)
+        store.add("R.a=1", tup, now=0.0)
+        assert store.tuples_for_key("R.a=1") == [tup]
+        assert store.tuples_for_key("other") == []
+
+    def test_len_and_cumulative(self, schema):
+        store = TupleStore()
+        for seq in range(5):
+            store.add("k", make_tuple(schema, (seq, seq), seq), now=float(seq))
+        assert len(store) == 5
+        assert store.cumulative_stored == 5
+        store.clear()
+        assert len(store) == 0
+        assert store.cumulative_stored == 5  # cumulative survives clears
+
+    def test_same_tuple_under_two_keys_costs_two_slots(self, schema):
+        store = TupleStore()
+        tup = make_tuple(schema, (1, 2), 1)
+        store.add("k1", tup, now=0.0)
+        store.add("k2", tup, now=0.0)
+        assert len(store) == 2
+        assert store.distinct_tuples() == 1
+
+    def test_prefix_lookup_deduplicates(self, schema):
+        store = TupleStore()
+        tup = make_tuple(schema, (1, 2), 1)
+        store.add("R\x1fa\x1f1", tup, now=0.0)
+        store.add("R\x1fa\x1f2", make_tuple(schema, (2, 2), 2), now=0.0)
+        store.add("S\x1fa\x1f1", make_tuple(schema, (3, 3), 3), now=0.0)
+        result = store.tuples_for_prefix("R\x1fa\x1f")
+        assert len(result) == 2
+
+    def test_remove_older_than(self, schema):
+        store = TupleStore()
+        store.add("k", make_tuple(schema, (1, 1), 1), now=0.0)
+        store.add("k", make_tuple(schema, (2, 2), 2), now=5.0)
+        removed = store.remove_older_than("k", cutoff=3.0)
+        assert removed == 1
+        assert len(store.tuples_for_key("k")) == 1
+
+    def test_remove_older_than_missing_key(self, schema):
+        store = TupleStore()
+        assert store.remove_older_than("nope", 1.0) == 0
+
+    def test_remove_published_before(self, schema):
+        store = TupleStore()
+        store.add("k", make_tuple(schema, (1, 1), 1, pub_time=1.0), now=0.0)
+        store.add("k", make_tuple(schema, (2, 2), 2, pub_time=9.0), now=0.0)
+        assert store.remove_published_before(5.0) == 1
+        assert store.has_key("k")
+
+    def test_keys_and_iteration(self, schema):
+        store = TupleStore()
+        store.add("k1", make_tuple(schema, (1, 1), 1), now=0.0)
+        store.add("k2", make_tuple(schema, (2, 2), 2), now=0.0)
+        assert set(store.keys()) == {"k1", "k2"}
+        assert len(list(store)) == 2
+
+    def test_records_expose_metadata(self, schema):
+        store = TupleStore()
+        store.add("k", make_tuple(schema, (1, 1), 7), now=3.5)
+        record = store.records_for_key("k")[0]
+        assert record.stored_at == 3.5
+        assert record.identity == ("R", 7)
+        assert record.key == "k"

@@ -1,0 +1,65 @@
+"""Tests for published tuples."""
+
+import pytest
+
+from repro.data.schema import RelationSchema
+from repro.data.tuples import Tuple
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("R", ["a", "b", "c"])
+
+
+class TestTuple:
+    def test_from_schema_valid(self, schema):
+        tup = Tuple.from_schema(schema, (1, 2, 3), pub_time=5.0, sequence=9)
+        assert tup.relation == "R"
+        assert tup.values == (1, 2, 3)
+        assert tup.pub_time == 5.0
+        assert tup.sequence == 9
+
+    def test_from_schema_arity_mismatch(self, schema):
+        with pytest.raises(SchemaError):
+            Tuple.from_schema(schema, (1, 2))
+
+    def test_values_are_tuples_even_from_lists(self):
+        tup = Tuple(relation="R", values=[1, 2])
+        assert isinstance(tup.values, tuple)
+
+    def test_value_of(self, schema):
+        tup = Tuple.from_schema(schema, (10, 20, 30))
+        assert tup.value_of("a", schema) == 10
+        assert tup.value_of("c", schema) == 30
+
+    def test_value_at(self, schema):
+        tup = Tuple.from_schema(schema, (10, 20, 30))
+        assert tup.value_at(1) == 20
+
+    def test_as_dict(self, schema):
+        tup = Tuple.from_schema(schema, (1, 2, 3))
+        assert tup.as_dict(schema) == {"a": 1, "b": 2, "c": 3}
+
+    def test_as_dict_arity_mismatch(self, schema):
+        tup = Tuple(relation="R", values=(1,))
+        with pytest.raises(SchemaError):
+            tup.as_dict(schema)
+
+    def test_identity_stable_across_copies(self, schema):
+        first = Tuple.from_schema(schema, (1, 2, 3), sequence=4)
+        second = Tuple.from_schema(schema, (9, 9, 9), sequence=4)
+        assert first.identity == ("R", 4)
+        assert first.identity == second.identity
+
+    def test_immutability(self, schema):
+        tup = Tuple.from_schema(schema, (1, 2, 3))
+        with pytest.raises(Exception):
+            tup.relation = "S"  # type: ignore[misc]
+
+    def test_arity(self, schema):
+        assert Tuple.from_schema(schema, (1, 2, 3)).arity == 3
+
+    def test_str_contains_relation_and_values(self, schema):
+        text = str(Tuple.from_schema(schema, (1, 2, 3), pub_time=7))
+        assert "R" in text and "1" in text

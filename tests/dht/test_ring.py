@@ -1,0 +1,83 @@
+"""Tests for the sorted identifier ring."""
+
+import pytest
+
+from repro.dht.hashing import IdentifierSpace
+from repro.dht.ring import RingMap
+from repro.errors import DuplicateNodeError, EmptyRingError, UnknownNodeError
+
+
+@pytest.fixture
+def ring():
+    space = IdentifierSpace(8)
+    ring = RingMap(space)
+    for identifier in (10, 100, 200):
+        ring.insert(identifier, f"n{identifier}")
+    return ring
+
+
+class TestRingMap:
+    def test_successor_basic(self, ring):
+        assert ring.successor(50) == (100, "n100")
+        assert ring.successor(100) == (100, "n100")
+        assert ring.successor(101) == (200, "n200")
+
+    def test_successor_wraps(self, ring):
+        assert ring.successor(201) == (10, "n10")
+        assert ring.successor(0) == (10, "n10")
+
+    def test_predecessor(self, ring):
+        assert ring.predecessor(100) == (10, "n10")
+        assert ring.predecessor(5) == (200, "n200")
+        assert ring.predecessor(150) == (100, "n100")
+
+    def test_empty_ring_raises(self):
+        ring = RingMap(IdentifierSpace(8))
+        with pytest.raises(EmptyRingError):
+            ring.successor(1)
+        with pytest.raises(EmptyRingError):
+            ring.predecessor(1)
+        with pytest.raises(EmptyRingError):
+            ring.arc_length(1)
+
+    def test_duplicate_insert_raises(self, ring):
+        with pytest.raises(DuplicateNodeError):
+            ring.insert(100, "other")
+
+    def test_remove(self, ring):
+        assert ring.remove(100) == "n100"
+        assert ring.successor(50) == (200, "n200")
+        with pytest.raises(UnknownNodeError):
+            ring.remove(100)
+
+    def test_move(self, ring):
+        ring.move(100, 150)
+        assert ring.get(150) == "n100"
+        assert ring.get(100) is None
+
+    def test_move_to_taken_position_rolls_back(self, ring):
+        with pytest.raises(DuplicateNodeError):
+            ring.move(100, 200)
+        assert ring.get(100) == "n100"
+
+    def test_contains_and_len(self, ring):
+        assert 10 in ring
+        assert 11 not in ring
+        assert len(ring) == 3
+
+    def test_iteration_ordered(self, ring):
+        assert [identifier for identifier, _ in ring] == [10, 100, 200]
+        assert ring.identifiers() == [10, 100, 200]
+        assert ring.values() == ["n10", "n100", "n200"]
+
+    def test_arc_length(self, ring):
+        assert ring.arc_length(100) == 90
+        assert ring.arc_length(10) == 66  # wraps from 200 to 10: 256 - 190
+
+    def test_arc_length_single_node(self):
+        ring = RingMap(IdentifierSpace(8))
+        ring.insert(42, "only")
+        assert ring.arc_length(42) == 256
+
+    def test_normalization(self, ring):
+        assert ring.successor(256 + 50) == (100, "n100")

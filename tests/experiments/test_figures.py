@@ -1,0 +1,57 @@
+"""Smoke tests for the figure harness (tiny overrides, qualitative assertions)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure2,
+    figure3,
+    figure7,
+    figure9,
+)
+
+
+class TestFigure2:
+    def test_strategy_ordering_holds(self):
+        fig = figure2(num_nodes=24, num_queries=40, checkpoints=[20, 40])
+        last = -1
+        worst = fig.series["worst_qpl_per_node"][last]
+        random_ = fig.series["random_qpl_per_node"][last]
+        rjoin = fig.series["rjoin_qpl_per_node"][last]
+        assert worst >= random_ >= rjoin
+        assert fig.series["worst_storage_per_node"][last] >= fig.series["rjoin_storage_per_node"][last]
+        # RIC traffic is only a part of RJoin's total traffic.
+        assert (
+            fig.series["rjoin_ric_messages_per_node"][last]
+            <= fig.series["rjoin_messages_per_node"][last]
+        )
+        text = fig.to_text()
+        assert "Figure 2" in text and "worst_qpl_per_node" in text
+
+
+class TestFigure3:
+    def test_load_grows_with_tuples(self):
+        fig = figure3(num_nodes=24, num_queries=40, tuple_counts=[10, 30])
+        qpl_small = sum(fig.distributions["qpl_ranked_10"])
+        qpl_large = sum(fig.distributions["qpl_ranked_30"])
+        assert qpl_large >= qpl_small
+        assert fig.series["participating_nodes"][1] >= fig.series["participating_nodes"][0]
+
+
+class TestFigure7:
+    def test_larger_windows_cost_more(self):
+        fig = figure7(
+            num_nodes=24, num_queries=40, num_tuples=60, window_sizes=[10, 40]
+        )
+        qpl = fig.series["qpl_per_node"]
+        storage = fig.series["total_current_storage"]
+        assert qpl[1] >= qpl[0]
+        assert storage[1] >= storage[0]
+
+
+class TestFigure9:
+    def test_id_movement_does_not_increase_peak_load(self):
+        fig = figure9(num_nodes=24, num_queries=60, num_tuples=60)
+        max_without, max_with = fig.series["max_storage"]
+        assert max_with <= max_without
+        participating_without, participating_with = fig.series["participating_nodes"]
+        assert participating_with >= participating_without

@@ -1,0 +1,70 @@
+"""Tests for QPL/SL load accounting."""
+
+from repro.metrics.collectors import LoadTracker
+
+
+class TestLoadTracker:
+    def test_qpl_definition(self):
+        tracker = LoadTracker()
+        tracker.record_tuple_received("a")
+        tracker.record_tuple_received("a")
+        tracker.record_query_received("a")
+        tracker.record_input_query_received("a")  # not part of QPL
+        assert tracker.node("a").query_processing_load == 3
+        assert tracker.total_query_processing_load == 3
+
+    def test_storage_definition(self):
+        tracker = LoadTracker()
+        tracker.record_query_stored("a")
+        tracker.record_tuple_stored("a")
+        tracker.record_tuple_stored("a")
+        assert tracker.node("a").storage_load == 3
+        assert tracker.node("a").current_storage == 3
+
+    def test_drops_reduce_current_but_not_cumulative(self):
+        tracker = LoadTracker()
+        tracker.record_query_stored("a")
+        tracker.record_tuple_stored("a")
+        tracker.record_query_dropped("a")
+        tracker.record_tuple_dropped("a")
+        assert tracker.node("a").storage_load == 2
+        assert tracker.node("a").current_storage == 0
+        assert tracker.total_current_storage == 0
+
+    def test_ranked_distributions(self):
+        tracker = LoadTracker()
+        for _ in range(5):
+            tracker.record_tuple_received("busy")
+        tracker.record_tuple_received("idle")
+        assert tracker.ranked_query_processing_load() == [5, 1]
+        tracker.record_tuple_stored("busy")
+        assert tracker.ranked_storage_load() == [1, 0]
+
+    def test_participation(self):
+        tracker = LoadTracker()
+        tracker.record_tuple_received("a")
+        tracker.record_input_query_received("b")  # no QPL
+        assert tracker.participating_nodes() == 1
+
+    def test_averages(self):
+        tracker = LoadTracker()
+        for _ in range(10):
+            tracker.record_query_received("a")
+        assert tracker.qpl_per_node(5) == 2.0
+        assert tracker.qpl_per_node(0) == 0.0
+        tracker.record_tuple_stored("a")
+        assert tracker.storage_per_node(1) == 1.0
+
+    def test_answers_counted(self):
+        tracker = LoadTracker()
+        tracker.record_answer("a")
+        tracker.record_answer("b")
+        assert tracker.total_answers == 2
+
+    def test_snapshot_and_reset(self):
+        tracker = LoadTracker()
+        tracker.record_tuple_received("a")
+        tracker.record_tuple_stored("a")
+        assert tracker.snapshot() == (1, 1)
+        tracker.reset()
+        assert tracker.snapshot() == (0, 0)

@@ -1,0 +1,40 @@
+"""Tests for the base message abstraction and envelopes."""
+
+from repro.net.messages import Envelope, Message, reset_message_counter
+
+
+class TestMessage:
+    def test_message_ids_are_unique_and_increasing(self):
+        first = Message()
+        second = Message()
+        assert second.message_id > first.message_id
+
+    def test_kind_is_class_name(self):
+        assert Message().kind == "Message"
+
+    def test_reset_counter(self):
+        reset_message_counter()
+        assert Message().message_id == 1
+
+
+class TestEnvelope:
+    def test_envelope_metadata(self):
+        message = Message()
+        envelope = Envelope(
+            message=message,
+            sender="a",
+            destination="b",
+            target_identifier=42,
+            route=("a", "x", "b"),
+            hops=2,
+            sent_at=1.0,
+            delivered_at=3.0,
+        )
+        assert envelope.kind == "Message"
+        assert envelope.hops == len(envelope.route) - 1
+        assert not envelope.direct
+        assert "2 hops" in repr(envelope)
+
+    def test_direct_envelope_repr(self):
+        envelope = Envelope(message=Message(), sender="a", destination="b", direct=True)
+        assert "direct" in repr(envelope)

@@ -1,0 +1,127 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.simulator import SimulationKernel
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        kernel = SimulationKernel()
+        order = []
+        kernel.schedule_at(5.0, order.append, "late")
+        kernel.schedule_at(1.0, order.append, "early")
+        kernel.schedule_at(3.0, order.append, "middle")
+        kernel.run_until_idle()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_broken_by_insertion_order(self):
+        kernel = SimulationKernel()
+        order = []
+        kernel.schedule_at(2.0, order.append, "first")
+        kernel.schedule_at(2.0, order.append, "second")
+        kernel.run_until_idle()
+        assert order == ["first", "second"]
+
+    def test_schedule_in_relative_delay(self):
+        kernel = SimulationKernel(start_time=10.0)
+        seen = []
+        kernel.schedule_in(2.5, lambda: seen.append(kernel.now))
+        kernel.run_until_idle()
+        assert seen == [12.5]
+
+    def test_clock_advances_to_event_time(self):
+        kernel = SimulationKernel()
+        kernel.schedule_at(7.0, lambda: None)
+        kernel.run_until_idle()
+        assert kernel.now == 7.0
+
+    def test_scheduling_in_the_past_rejected(self):
+        kernel = SimulationKernel(start_time=5.0)
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            kernel.schedule_in(-1.0, lambda: None)
+
+    def test_cascading_events(self):
+        kernel = SimulationKernel()
+        seen = []
+
+        def first():
+            seen.append("first")
+            kernel.schedule_in(1.0, second)
+
+        def second():
+            seen.append("second")
+
+        kernel.schedule_in(1.0, first)
+        kernel.run_until_idle()
+        assert seen == ["first", "second"]
+        assert kernel.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_events_do_not_fire(self):
+        kernel = SimulationKernel()
+        seen = []
+        handle = kernel.schedule_at(1.0, seen.append, "x")
+        handle.cancel()
+        kernel.run_until_idle()
+        assert not seen
+        assert handle.cancelled
+
+    def test_pending_events_excludes_cancelled(self):
+        kernel = SimulationKernel()
+        keep = kernel.schedule_at(1.0, lambda: None)
+        drop = kernel.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        assert kernel.pending_events == 1
+        assert keep.time == 1.0
+
+
+class TestClockControl:
+    def test_advance_to_and_by(self):
+        kernel = SimulationKernel()
+        kernel.advance_to(5.0)
+        kernel.advance_by(2.0)
+        assert kernel.now == 7.0
+
+    def test_advance_backwards_rejected(self):
+        kernel = SimulationKernel()
+        kernel.advance_to(5.0)
+        with pytest.raises(SimulationError):
+            kernel.advance_to(1.0)
+        with pytest.raises(SimulationError):
+            kernel.advance_by(-0.1)
+
+    def test_run_until_processes_only_due_events(self):
+        kernel = SimulationKernel()
+        seen = []
+        kernel.schedule_at(1.0, seen.append, "a")
+        kernel.schedule_at(10.0, seen.append, "b")
+        processed = kernel.run_until(5.0)
+        assert processed == 1
+        assert seen == ["a"]
+        assert kernel.now == 5.0
+        kernel.run_until_idle()
+        assert seen == ["a", "b"]
+
+
+class TestGuards:
+    def test_max_events_guard(self):
+        kernel = SimulationKernel()
+
+        def loop():
+            kernel.schedule_in(1.0, loop)
+
+        kernel.schedule_in(1.0, loop)
+        with pytest.raises(SimulationError):
+            kernel.run_until_idle(max_events=10)
+
+    def test_events_processed_counter(self):
+        kernel = SimulationKernel()
+        for i in range(4):
+            kernel.schedule_at(float(i + 1), lambda: None)
+        kernel.run_until_idle()
+        assert kernel.events_processed == 4

@@ -1,0 +1,55 @@
+"""Tests for SQL formatting and round-tripping."""
+
+import pytest
+
+from repro.data.schema import AttributeRef
+from repro.sql.ast import Constant, Query, SelectionPredicate, WindowSpec
+from repro.sql.formatter import format_query
+from repro.sql.parser import parse_query
+
+
+CASES = [
+    "SELECT R.a FROM R",
+    "SELECT R.a, S.d FROM R, S WHERE R.b = S.c",
+    "SELECT DISTINCT R.a FROM R, S WHERE R.b = S.c",
+    "SELECT R.a FROM R, S WHERE R.b = S.c AND S.d = 7",
+    "SELECT R.a FROM R, S WHERE R.b = S.c WINDOW 50 TUPLES",
+    "SELECT R.a, S.d, T.f FROM R, S, T WHERE R.b = S.c AND S.d = T.e",
+]
+
+
+@pytest.mark.parametrize("text", CASES)
+def test_round_trip(text):
+    """parse(format(parse(text))) is structurally identical to parse(text)."""
+    query = parse_query(text)
+    rendered = format_query(query)
+    assert parse_query(rendered) == query
+
+
+def test_string_literals_are_quoted_and_escaped():
+    query = parse_query("SELECT R.a FROM R WHERE R.b = 'o\\'clock'")
+    rendered = format_query(query)
+    assert "\\'" in rendered
+    assert parse_query(rendered) == query
+
+
+def test_complete_query_rendering():
+    query = Query(select_items=(Constant(6), Constant(9)), relations=())
+    rendered = format_query(query)
+    assert rendered == "SELECT 6, 9"
+
+
+def test_rewritten_query_rendering_matches_paper_style():
+    query = Query(
+        select_items=(Constant(6), AttributeRef("M", "A")),
+        relations=("J", "M"),
+        join_predicates=(),
+        selection_predicates=(SelectionPredicate(AttributeRef("J", "B"), 6),),
+    )
+    rendered = format_query(query)
+    assert rendered == "SELECT 6, M.A FROM J, M WHERE J.B = 6"
+
+
+def test_window_rendering():
+    query = parse_query("SELECT R.a FROM R WINDOW 10 TIME")
+    assert "WINDOW 10 TIME" in format_query(query)

@@ -1,0 +1,128 @@
+"""Tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.data.schema import AttributeRef, Catalog
+from repro.errors import SQLSyntaxError, UnsupportedQueryError
+from repro.sql.ast import Constant, JoinPredicate, SelectionPredicate
+from repro.sql.parser import parse_query, tokenize
+
+
+class TestTokenizer:
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("select R.a from R")
+        assert tokens[0].kind == "keyword" and tokens[0].text == "SELECT"
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize("42 3.5 'hello'")
+        assert [t.kind for t in tokens[:-1]] == ["number", "number", "string"]
+
+    def test_garbage_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @ FROM R")
+
+    def test_eof_token_appended(self):
+        assert tokenize("R")[-1].kind == "eof"
+
+
+class TestParser:
+    def test_simple_two_way_join(self):
+        query = parse_query("SELECT R.a, S.d FROM R, S WHERE R.b = S.c")
+        assert query.relations == ("R", "S")
+        assert query.select_items == (AttributeRef("R", "a"), AttributeRef("S", "d"))
+        assert query.join_predicates == (
+            JoinPredicate(AttributeRef("R", "b"), AttributeRef("S", "c")),
+        )
+        assert not query.distinct
+        assert query.window is None
+
+    def test_multi_way_join_from_the_paper(self):
+        text = (
+            "SELECT S.B, M.A FROM R, S, J, M "
+            "WHERE R.A = S.A AND S.B = J.B AND J.C = M.C"
+        )
+        query = parse_query(text)
+        assert query.arity == 4
+        assert query.num_joins == 3
+
+    def test_selection_predicates_both_orientations(self):
+        query = parse_query(
+            "SELECT S.B FROM S, P WHERE 3 = S.A AND P.B = 7 AND S.B = P.B"
+        )
+        assert SelectionPredicate(AttributeRef("S", "A"), 3) in query.selection_predicates
+        assert SelectionPredicate(AttributeRef("P", "B"), 7) in query.selection_predicates
+        assert query.num_joins == 1
+
+    def test_string_literals(self):
+        query = parse_query("SELECT R.a FROM R WHERE R.b = 'alert'")
+        assert query.selection_predicates[0].value == "alert"
+
+    def test_float_literals(self):
+        query = parse_query("SELECT R.a FROM R WHERE R.b = 1.5")
+        assert query.selection_predicates[0].value == 1.5
+
+    def test_constants_in_select_list(self):
+        query = parse_query("SELECT 5, S.B FROM S, P WHERE 3 = S.A AND S.B = P.B")
+        assert query.select_items[0] == Constant(5)
+
+    def test_distinct(self):
+        query = parse_query("SELECT DISTINCT R.a FROM R, S WHERE R.a = S.c")
+        assert query.distinct
+
+    def test_window_tuples(self):
+        query = parse_query(
+            "SELECT R.a FROM R, S WHERE R.a = S.c WINDOW 100 TUPLES"
+        )
+        assert query.window is not None
+        assert query.window.mode == "tuples"
+        assert query.window.size == 100
+
+    def test_window_time_default(self):
+        query = parse_query("SELECT R.a FROM R, S WHERE R.a = S.c WINDOW 30 TIME")
+        assert query.window.mode == "time"
+
+    def test_missing_from_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT R.a WHERE R.a = 1")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT R.a FROM R extra")
+
+    def test_bad_predicate_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT R.a FROM R WHERE R.a >")
+
+    def test_contradictory_constant_predicate(self):
+        with pytest.raises(UnsupportedQueryError):
+            parse_query("SELECT R.a FROM R WHERE 1 = 2")
+
+    def test_trivially_true_constant_predicate_dropped(self):
+        query = parse_query("SELECT R.a FROM R WHERE 2 = 2")
+        assert not query.predicates()
+
+    def test_self_join_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            parse_query("SELECT R.a FROM R, R WHERE R.a = R.b")
+
+    def test_disconnected_join_graph_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            parse_query("SELECT R.a FROM R, S, T WHERE R.a = S.c")
+
+    def test_catalog_validation(self):
+        catalog = Catalog()
+        catalog.add_relation("R", ["a"])
+        catalog.add_relation("S", ["c"])
+        parse_query("SELECT R.a FROM R, S WHERE R.a = S.c", catalog=catalog)
+        with pytest.raises(Exception):
+            parse_query("SELECT R.zzz FROM R, S WHERE R.a = S.c", catalog=catalog)
+
+    def test_relation_not_in_from_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            parse_query("SELECT R.a FROM R, S WHERE R.a = S.c AND T.a = R.a")
+
+    def test_validate_can_be_disabled(self):
+        query = parse_query(
+            "SELECT R.a FROM R, S, T WHERE R.a = S.c", validate=False
+        )
+        assert query.arity == 3

@@ -1,0 +1,75 @@
+"""Tests for where-clause utilities (closure, implied selections)."""
+
+from repro.data.schema import AttributeRef
+from repro.sql.ast import SelectionPredicate
+from repro.sql.parser import parse_query
+from repro.sql.predicates import (
+    all_selections,
+    equality_closure,
+    implied_selections,
+    is_contradictory,
+    join_graph_edges,
+    predicates_for_relation,
+)
+
+
+def test_equality_closure_groups_joined_attributes():
+    query = parse_query(
+        "SELECT R.a FROM R, S, T WHERE R.a = S.c AND S.c = T.e", validate=False
+    )
+    groups = equality_closure(query)
+    joined = next(g for g in groups if AttributeRef("R", "a") in g)
+    assert AttributeRef("S", "c") in joined
+    assert AttributeRef("T", "e") in joined
+
+
+def test_implied_selections_from_closure():
+    query = parse_query(
+        "SELECT R.a FROM R, S WHERE R.b = S.c AND S.c = 5", validate=False
+    )
+    implied = implied_selections(query)
+    assert SelectionPredicate(AttributeRef("R", "b"), 5) in implied
+    # the explicit selection itself is not repeated
+    assert SelectionPredicate(AttributeRef("S", "c"), 5) not in implied
+
+
+def test_implied_selections_skip_groups_without_constant():
+    query = parse_query("SELECT R.a FROM R, S WHERE R.b = S.c")
+    assert implied_selections(query) == []
+
+
+def test_all_selections_merges_without_duplicates():
+    query = parse_query(
+        "SELECT R.a FROM R, S WHERE R.b = S.c AND S.c = 5 AND R.a = 1",
+        validate=False,
+    )
+    merged = all_selections(query)
+    keys = [(sp.attribute, sp.value) for sp in merged]
+    assert len(keys) == len(set(keys))
+    assert SelectionPredicate(AttributeRef("R", "b"), 5) in merged
+
+
+def test_predicates_for_relation():
+    query = parse_query(
+        "SELECT R.a FROM R, S WHERE R.b = S.c AND R.a = 1", validate=False
+    )
+    joins, selections = predicates_for_relation(query, "R")
+    assert len(joins) == 1 and len(selections) == 1
+    joins_s, selections_s = predicates_for_relation(query, "S")
+    assert len(joins_s) == 1 and not selections_s
+
+
+def test_is_contradictory():
+    a = SelectionPredicate(AttributeRef("R", "a"), 1)
+    b = SelectionPredicate(AttributeRef("R", "a"), 2)
+    c = SelectionPredicate(AttributeRef("R", "b"), 2)
+    assert is_contradictory([a, b])
+    assert not is_contradictory([a, c])
+    assert not is_contradictory([a, a])
+
+
+def test_join_graph_edges():
+    query = parse_query(
+        "SELECT R.a FROM R, S, T WHERE R.a = S.c AND S.d = T.e"
+    )
+    assert sorted(join_graph_edges(query)) == [("R", "S"), ("S", "T")]
