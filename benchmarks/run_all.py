@@ -1,0 +1,98 @@
+"""Smoke driver for the whole benchmark suite.
+
+Executes every figure benchmark (``bench_fig*.py`` exercises the same
+``figureN()`` entry points through pytest-benchmark) plus the hot-path
+microbenchmark at drastically reduced sizes, and fails loudly on any
+exception.  The goal is not timing fidelity — it is catching code paths that
+only the benchmarks exercise (full experiment sweeps, id movement, window
+sweeps) without paying for a full benchmark run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # smoke everything
+    PYTHONPATH=src python -m pytest -m bench_smoke         # same, via pytest
+
+The pytest entry point lives in ``tests/test_bench_smoke.py`` and is opt-in:
+the ``bench_smoke`` marker is deselected by default (see ``pytest.ini``).
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments import figures
+
+# One entry per paper figure: (figure function, smoke-scale overrides).
+# The overrides keep each run to a couple of seconds while still driving the
+# full experiment pipeline (warm-up, query indexing, checkpoints, GC,
+# id movement) end to end.
+SMOKE_FIGURES: List[Tuple[Callable, Dict[str, object]]] = [
+    (figures.figure2, {"num_nodes": 12, "num_queries": 6, "checkpoints": [10, 20]}),
+    (figures.figure3, {"num_nodes": 12, "num_queries": 6, "tuple_counts": [5, 10]}),
+    (figures.figure4, {"num_nodes": 12, "query_counts": [3, 6], "num_tuples": 15}),
+    (
+        figures.figure5,
+        {"num_nodes": 12, "num_queries": 6, "num_tuples": 15, "thetas": (0.5, 0.9)},
+    ),
+    (
+        figures.figure6,
+        {"num_nodes": 12, "num_queries": 6, "num_tuples": 15, "arities": (4,)},
+    ),
+    (
+        figures.figure7,
+        {"num_nodes": 12, "num_queries": 6, "num_tuples": 15, "window_sizes": [5, 10]},
+    ),
+    (
+        figures.figure8,
+        {"num_nodes": 12, "num_queries": 6, "num_tuples": 15, "window_sizes": [5, 10]},
+    ),
+    (figures.figure9, {"num_nodes": 12, "num_queries": 10, "num_tuples": 15}),
+]
+
+
+def run_all(verbose: bool = True) -> List[str]:
+    """Smoke-run every benchmark; returns a list of failure descriptions."""
+    failures: List[str] = []
+
+    for figure_fn, overrides in SMOKE_FIGURES:
+        name = figure_fn.__name__
+        try:
+            result = figure_fn(**overrides)
+            if verbose:
+                print(f"{name}: ok ({result.figure})")
+        except Exception:
+            failures.append(f"{name} failed:\n{traceback.format_exc()}")
+            if verbose:
+                print(f"{name}: FAILED")
+
+    try:
+        import bench_micro_hotpaths
+    except ImportError:
+        from benchmarks import bench_micro_hotpaths  # type: ignore[no-redef]
+    try:
+        report = bench_micro_hotpaths.run_all(smoke=True)
+        if verbose:
+            print(f"bench_micro_hotpaths: ok ({len(report['results'])} benchmarks)")
+    except Exception:
+        failures.append(f"bench_micro_hotpaths failed:\n{traceback.format_exc()}")
+        if verbose:
+            print("bench_micro_hotpaths: FAILED")
+
+    return failures
+
+
+def main() -> int:
+    failures = run_all(verbose=True)
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) failed:", file=sys.stderr)
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        return 1
+    print("\nall benchmarks passed in smoke mode")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,12 +11,19 @@ matching tuples published at or after the query's insertion time.
 one-time queries), or an overestimate of the maximum message transit time,
 which is what the eventual-completeness theorem requires.  The engine derives
 a default Δ from the messaging service's bounded per-hop delay.
+
+Because :meth:`AttributeLevelTupleTable.expire` runs on *every*
+attribute-level tuple arrival, it is a hot path: expiry is driven by a
+min-heap over reception times, so a sweep costs O(expired · log n) instead of
+re-scanning every retained entry.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple as TupleT
 
 from repro.data.tuples import Tuple
 
@@ -35,36 +42,81 @@ class AttributeLevelTupleTable:
         self.delta = delta
         self._by_key: Dict[str, List[_AlttEntry]] = {}
         self._stored_total = 0
+        self._size = 0
+        # (received_at, tiebreak, key) min-heap; only maintained when entries
+        # can actually expire (finite Δ).
+        self._expiry_heap: List[TupleT[float, int, str]] = []
+        self._tiebreak = itertools.count()
+        # Keys whose entries were added with non-monotone reception times.
+        # Arrival order is monotone under the engine clock, letting expiry
+        # cut a prefix; the rare unsorted key falls back to a full filter.
+        self._unsorted_keys: Set[str] = set()
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def add(self, key_text: str, tup: Tuple, now: float) -> None:
         """Remember that ``tup`` arrived at attribute-level key ``key_text``."""
-        self._by_key.setdefault(key_text, []).append(
-            _AlttEntry(tuple=tup, received_at=now)
-        )
+        entries = self._by_key.setdefault(key_text, [])
+        if entries and entries[-1].received_at > now:
+            self._unsorted_keys.add(key_text)
+        entries.append(_AlttEntry(tuple=tup, received_at=now))
         self._stored_total += 1
+        self._size += 1
+        if self.delta is not None:
+            heapq.heappush(
+                self._expiry_heap, (now, next(self._tiebreak), key_text)
+            )
 
     def expire(self, now: float) -> int:
         """Drop entries older than Δ; returns the number of removed entries."""
         if self.delta is None:
             return 0
         cutoff = now - self.delta
+        heap = self._expiry_heap
+        affected: Set[str] = set()
+        while heap and heap[0][0] < cutoff:
+            affected.add(heapq.heappop(heap)[2])
         removed = 0
-        for key in list(self._by_key.keys()):
-            entries = self._by_key[key]
-            kept = [entry for entry in entries if entry.received_at >= cutoff]
-            removed += len(entries) - len(kept)
-            if kept:
-                self._by_key[key] = kept
-            else:
+        for key in affected:
+            entries = self._by_key.get(key)
+            if not entries:
+                continue
+            if key in self._unsorted_keys:
+                kept: List[_AlttEntry] = []
+                for entry in entries:
+                    if entry.received_at >= cutoff:
+                        kept.append(entry)
+                    else:
+                        removed += 1
+                if kept:
+                    self._by_key[key] = kept
+                else:
+                    del self._by_key[key]
+                    self._unsorted_keys.discard(key)
+                continue
+            # Entries arrived in reception order: the expired ones are a
+            # prefix, so only removed entries are ever touched.
+            index = 0
+            length = len(entries)
+            while index < length and entries[index].received_at < cutoff:
+                index += 1
+            if not index:
+                continue
+            removed += index
+            if index == length:
                 del self._by_key[key]
+            else:
+                del entries[:index]
+        self._size -= removed
         return removed
 
     def clear(self) -> None:
         """Remove every entry."""
         self._by_key.clear()
+        self._expiry_heap.clear()
+        self._unsorted_keys.clear()
+        self._size = 0
 
     # ------------------------------------------------------------------
     # lookups
@@ -98,7 +150,7 @@ class AttributeLevelTupleTable:
     # statistics
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(len(entries) for entries in self._by_key.values())
+        return self._size
 
     @property
     def cumulative_stored(self) -> int:

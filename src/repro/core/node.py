@@ -21,9 +21,11 @@ application-layer state and the handlers for every protocol message:
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple as TupleT
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as TupleT
 
 from repro.core.altt import AttributeLevelTupleTable
 from repro.core.dedup import ProjectionTracker
@@ -44,7 +46,7 @@ from repro.core.strategy import (
     input_query_candidates,
     rewritten_query_candidates,
 )
-from repro.core.windows import admits, expired, extend, tuple_expired
+from repro.core.windows import admits, expired, extend
 from repro.core.config import RJoinConfig
 from repro.data.schema import Catalog
 from repro.data.store import StoredTuple, TupleStore
@@ -84,6 +86,102 @@ class StoredQueryRecord:
     tracker: Optional[ProjectionTracker] = None
 
 
+class QueryTable:
+    """Key-addressed stored-query records with O(1) size and heap-driven GC.
+
+    Both node-local query tables (input and rewritten) use this structure.
+    Besides the plain ``key text -> records`` mapping it maintains an
+    incremental size counter (the storage-load accounting used to re-count
+    every list on each access) and, per window mode, a min-heap of expiry
+    deadlines so a garbage-collection tick only touches records that have
+    actually expired.
+    """
+
+    __slots__ = ("_by_key", "_size", "_expiry", "_tiebreak")
+
+    def __init__(self) -> None:
+        self._by_key: Dict[str, List[StoredQueryRecord]] = {}
+        self._size = 0
+        # mode -> (deadline, tiebreak, key text, record) min-heap.  Entries
+        # are never removed eagerly; stale ones (records dropped through the
+        # trigger path or rehomed) are skipped by an identity check.
+        self._expiry: Dict[str, List] = {"time": [], "tuples": []}
+        self._tiebreak = itertools.count()
+
+    def add(self, key_text: str, record: StoredQueryRecord) -> None:
+        """Store ``record`` under ``key_text``."""
+        self._by_key.setdefault(key_text, []).append(record)
+        self._size += 1
+        window = record.state.query.window
+        state = record.state.window_state
+        if window is not None and state is not None:
+            # expired(window, state, clock) <=> clock > deadline.
+            deadline = state.min_clock + window.size - 1
+            heapq.heappush(
+                self._expiry[window.mode],
+                (deadline, next(self._tiebreak), key_text, record),
+            )
+
+    def get(self, key_text: str) -> Optional[List[StoredQueryRecord]]:
+        """The records stored under ``key_text`` (None when there are none)."""
+        return self._by_key.get(key_text)
+
+    def replace(self, key_text: str, records: List[StoredQueryRecord]) -> None:
+        """Swap the record list of ``key_text`` (dropping the key when empty)."""
+        previous = self._by_key.get(key_text)
+        self._size += len(records) - (len(previous) if previous else 0)
+        if records:
+            self._by_key[key_text] = records
+        else:
+            self._by_key.pop(key_text, None)
+
+    def pop_key(self, key_text: str) -> List[StoredQueryRecord]:
+        """Remove and return every record stored under ``key_text``."""
+        records = self._by_key.pop(key_text, [])
+        self._size -= len(records)
+        return records
+
+    def keys(self) -> Iterable[str]:
+        """The key texts currently holding records."""
+        return self._by_key.keys()
+
+    def items(self) -> Iterable[TupleT[str, List[StoredQueryRecord]]]:
+        """Iterate over ``(key text, records)`` pairs."""
+        return self._by_key.items()
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self._by_key)
+
+    def __len__(self) -> int:
+        """Number of stored records across all keys; O(1)."""
+        return self._size
+
+    def gc_expired(self, clocks: Mapping[str, float]) -> int:
+        """Drop records whose window deadline passed; returns the drop count.
+
+        ``clocks`` maps a window mode to its current clock value.  Deadlines
+        are fixed at insertion time (window states are immutable), so a
+        record is expired exactly when its deadline is below the clock.
+        """
+        dropped = 0
+        for mode, clock in clocks.items():
+            heap = self._expiry[mode]
+            while heap and heap[0][0] < clock:
+                _, _, key_text, record = heapq.heappop(heap)
+                records = self._by_key.get(key_text)
+                if not records:
+                    continue
+                for index, existing in enumerate(records):
+                    if existing is record:
+                        del records[index]
+                        dropped += 1
+                        self._size -= 1
+                        if not records:
+                            del self._by_key[key_text]
+                        break
+        return dropped
+
+
 @dataclass
 class _PendingIndexOp:
     """An indexing decision waiting for RIC information to come back."""
@@ -110,8 +208,8 @@ class RJoinNode:
         self.address = address
         self.ctx = ctx
         # Stored state ----------------------------------------------------
-        self.input_queries: Dict[str, List[StoredQueryRecord]] = {}
-        self.rewritten_queries: Dict[str, List[StoredQueryRecord]] = {}
+        self.input_queries = QueryTable()
+        self.rewritten_queries = QueryTable()
         self.tuple_store = TupleStore()
         self.altt = AttributeLevelTupleTable(delta=ctx.altt_delta)
         # RIC state ---------------------------------------------------------
@@ -150,12 +248,26 @@ class RJoinNode:
 
         Returns the number of messages handed to ``multiSend``.
         """
-        schema = self.ctx.catalog.get(tup.relation)
-        keys = tuple_index_keys(tup, schema)
-        messages = [
-            NewTupleMessage(tuple=tup, key=key, publisher=self.address) for key in keys
-        ]
-        identifiers = [self.ctx.space.hash_key(key.text) for key in keys]
+        return self.publish_tuples((tup,))
+
+    def publish_tuples(self, tuples: Sequence[Tuple]) -> int:
+        """Index a whole batch of tuples with a single ``multiSend``.
+
+        The batch path hashes every indexing key once and lets the messaging
+        service coalesce the per-message traffic accounting; it is the fast
+        path behind :meth:`repro.core.engine.RJoinEngine.publish_batch`.
+        """
+        catalog = self.ctx.catalog
+        hash_key = self.ctx.space.hash_key
+        messages: List[NewTupleMessage] = []
+        identifiers: List[int] = []
+        for tup in tuples:
+            schema = catalog.get(tup.relation)
+            for key in tuple_index_keys(tup, schema):
+                messages.append(
+                    NewTupleMessage(tuple=tup, key=key, publisher=self.address)
+                )
+                identifiers.append(hash_key(key.text))
         self.ctx.api.multi_send(self.address, messages, identifiers)
         return len(messages)
 
@@ -191,7 +303,7 @@ class RJoinNode:
 
     def _trigger_stored_queries(
         self,
-        table: Dict[str, List[StoredQueryRecord]],
+        table: QueryTable,
         key_text: str,
         tup: Tuple,
     ) -> None:
@@ -212,10 +324,7 @@ class RJoinNode:
                     continue
             survivors.append(record)
             self._try_trigger(record, tup, schema)
-        if survivors:
-            table[key_text] = survivors
-        else:
-            table.pop(key_text, None)
+        table.replace(key_text, survivors)
 
     def _try_trigger(self, record: StoredQueryRecord, tup: Tuple, schema) -> None:
         """Apply the trigger conditions and, if satisfied, rewrite and re-index."""
@@ -284,7 +393,7 @@ class RJoinNode:
             stored_at=now,
             tracker=self._make_tracker(state),
         )
-        self.input_queries.setdefault(key.text, []).append(record)
+        self.input_queries.add(key.text, record)
         # Section 4, rule 2: search the ALTT for tuples that raced past the query.
         schema_cache: Dict[str, object] = {}
         for tup in self.altt.find(
@@ -320,18 +429,22 @@ class RJoinNode:
             window, state.window_state, self._window_clock(window)
         )
         if window_open_for_future:
-            self.rewritten_queries.setdefault(key.text, []).append(record)
+            self.rewritten_queries.add(key.text, record)
             self.ctx.loads.record_query_stored(self.address)
 
         # Match against tuples already stored locally (published after the
         # input query was submitted but delivered here before this query).
-        matches = self._stored_tuples_for(key)
-        for tup in sorted(matches, key=lambda t: (t.pub_time, t.sequence)):
+        # The store hands the tuples out already ordered by
+        # ``(pub_time, sequence)``, so no re-sort is needed here.
+        for tup in self._stored_tuples_for(key):
             schema = self.ctx.catalog.get(tup.relation)
             self._try_trigger(record, tup, schema)
 
     def _stored_tuples_for(self, key: IndexKey) -> List[Tuple]:
-        """Locally stored tuples that can match a query indexed under ``key``."""
+        """Locally stored tuples matching a query indexed under ``key``.
+
+        Results are in publication order (``(pub_time, sequence)``).
+        """
         if key.is_value_level:
             return self.tuple_store.tuples_for_key(key.text)
         # Attribute-level rewritten query: scan every value-level copy of the
@@ -339,11 +452,17 @@ class RJoinNode:
         now = self.ctx.clock()
         tuples = self.tuple_store.tuples_for_prefix(key.attribute_prefix)
         seen = {tup.identity for tup in tuples}
+        extras: List[Tuple] = []
         for tup in self.altt.find(key.text, now):
             if tup.identity not in seen:
                 seen.add(tup.identity)
-                tuples.append(tup)
-        return tuples
+                extras.append(tup)
+        if not extras:
+            return tuples
+        extras.sort(key=lambda t: (t.pub_time, t.sequence))
+        return list(
+            heapq.merge(tuples, extras, key=lambda t: (t.pub_time, t.sequence))
+        )
 
     # ------------------------------------------------------------------
     # indexing pipeline (Sections 3, 6 and 7)
@@ -523,39 +642,24 @@ class RJoinNode:
         query of the run shares the same window, so an aged-out tuple can
         never contribute to any answer again).
         """
-        queries_dropped = 0
-        for key_text in list(self.rewritten_queries.keys()):
-            kept = []
-            for record in self.rewritten_queries[key_text]:
-                window = record.state.query.window
-                if window is not None and expired(
-                    window, record.state.window_state, self._window_clock(window)
-                ):
-                    queries_dropped += 1
-                    continue
-                kept.append(record)
-            if kept:
-                self.rewritten_queries[key_text] = kept
-            else:
-                self.rewritten_queries.pop(key_text, None)
+        queries_dropped = self.rewritten_queries.gc_expired(
+            {
+                "time": self.ctx.clock(),
+                "tuples": float(self.ctx.sequence_clock()),
+            }
+        )
         if queries_dropped:
             self.ctx.loads.record_query_dropped(self.address, queries_dropped)
 
         tuples_dropped = 0
         gc_window = self.ctx.config.tuple_gc_window
         if gc_window is not None:
-            clock_now = self._window_clock(gc_window)
-            for key_text in list(self.tuple_store.keys()):
-                records = self.tuple_store.records_for_key(key_text)
-                expired_records = [
-                    record
-                    for record in records
-                    if tuple_expired(gc_window, record.tuple, clock_now)
-                ]
-                if not expired_records:
-                    continue
-                cutoff = max(record.stored_at for record in expired_records) + 1e-9
-                tuples_dropped += self.tuple_store.remove_older_than(key_text, cutoff)
+            # tuple_expired(window, tup, clock) <=> clock_of(tup) < cutoff.
+            cutoff = self._window_clock(gc_window) - gc_window.size + 1
+            if gc_window.mode == "time":
+                tuples_dropped = self.tuple_store.remove_published_before(cutoff)
+            else:
+                tuples_dropped = self.tuple_store.remove_sequenced_before(cutoff)
             if tuples_dropped:
                 self.ctx.loads.record_tuple_dropped(self.address, tuples_dropped)
         return queries_dropped, tuples_dropped
@@ -569,11 +673,11 @@ class RJoinNode:
         """Remove and return stored items whose key is now owned by another node."""
         items: List[RehomedItem] = []
 
-        def _extract(table: Dict[str, List[StoredQueryRecord]], kind: str) -> None:
+        def _extract(table: QueryTable, kind: str) -> None:
             for key_text in list(table.keys()):
                 if owner_of(key_text) == self.address:
                     continue
-                for record in table.pop(key_text):
+                for record in table.pop_key(key_text):
                     items.append(RehomedItem(kind=kind, key_text=key_text, payload=record))
 
         _extract(self.input_queries, "input")
@@ -582,19 +686,18 @@ class RJoinNode:
         for key_text in list(self.tuple_store.keys()):
             if owner_of(key_text) == self.address:
                 continue
-            for record in self.tuple_store.records_for_key(key_text):
+            for record in self.tuple_store.remove_key(key_text):
                 items.append(
                     RehomedItem(kind="tuple", key_text=key_text, payload=record)
                 )
-            self.tuple_store.remove_older_than(key_text, float("inf"))
         return items
 
     def accept_rehomed(self, item: RehomedItem) -> None:
         """Adopt an item handed over by another node after id movement."""
         if item.kind == "input":
-            self.input_queries.setdefault(item.key_text, []).append(item.payload)
+            self.input_queries.add(item.key_text, item.payload)
         elif item.kind == "rewritten":
-            self.rewritten_queries.setdefault(item.key_text, []).append(item.payload)
+            self.rewritten_queries.add(item.key_text, item.payload)
         elif item.kind == "tuple":
             record = item.payload
             assert isinstance(record, StoredTuple)
@@ -607,17 +710,17 @@ class RJoinNode:
     # ------------------------------------------------------------------
     @property
     def stored_input_queries(self) -> int:
-        """Number of input queries currently stored at this node."""
-        return sum(len(records) for records in self.input_queries.values())
+        """Number of input queries currently stored at this node; O(1)."""
+        return len(self.input_queries)
 
     @property
     def stored_rewritten_queries(self) -> int:
-        """Number of rewritten queries currently stored at this node."""
-        return sum(len(records) for records in self.rewritten_queries.values())
+        """Number of rewritten queries currently stored at this node; O(1)."""
+        return len(self.rewritten_queries)
 
     @property
     def stored_tuples(self) -> int:
-        """Number of value-level tuples currently stored at this node."""
+        """Number of value-level tuples currently stored at this node; O(1)."""
         return len(self.tuple_store)
 
     @property

@@ -130,9 +130,26 @@ class DHTMessagingService:
                 "multi_send requires one identifier per message "
                 f"({len(messages)} messages, {len(identifiers)} identifiers)"
             )
+        sender_node = self.ring.node_by_address(sender)
         envelopes = []
+        sends = 0
+        routed: Dict[str, int] = {}
         for message, identifier in zip(messages, identifiers):
-            envelopes.append(self.send(sender, message, identifier, is_ric=is_ric))
+            path = self.ring.route_path(sender_node, identifier)
+            envelope = self._transmit(
+                sender_node, path, message, identifier, is_ric, record_traffic=False
+            )
+            envelopes.append(envelope)
+            # Coalesce the traffic accounting over the whole batch: one
+            # counter update per transmitting node instead of one per message.
+            if envelope.hops > 0:
+                sends += 1
+                for forwarder in envelope.route[1:-1]:
+                    routed[forwarder] = routed.get(forwarder, 0) + 1
+        if sends:
+            self.traffic.record_send(sender, is_ric=is_ric, count=sends)
+        for forwarder, count in routed.items():
+            self.traffic.record_route(forwarder, is_ric=is_ric, count=count)
         return envelopes
 
     def send_direct(
@@ -169,10 +186,11 @@ class DHTMessagingService:
         identifier: Optional[int],
         is_ric: bool,
         direct: bool = False,
+        record_traffic: bool = True,
     ) -> Envelope:
         destination = path[-1]
         hops = len(path) - 1
-        if hops > 0:
+        if hops > 0 and record_traffic:
             self.traffic.record_path(
                 sender_node.address,
                 [node.address for node in path[1:]],

@@ -22,24 +22,39 @@ from repro.errors import ConfigurationError
 DEFAULT_BITS = 64
 
 
+_HASH_CACHE_LIMIT = 1 << 20  # identifiers memoised per space before a reset
+
+
 class IdentifierSpace:
     """An m-bit circular identifier space with consistent hashing."""
 
-    __slots__ = ("bits", "size")
+    __slots__ = ("bits", "size", "_hash_cache")
 
     def __init__(self, bits: int = DEFAULT_BITS):
         if bits <= 0 or bits > 160:
             raise ConfigurationError("identifier space must use between 1 and 160 bits")
         self.bits = bits
         self.size = 1 << bits
+        self._hash_cache: dict = {}
 
     # ------------------------------------------------------------------
     # hashing
     # ------------------------------------------------------------------
     def hash_key(self, key: str) -> int:
-        """Map a string key to an identifier via SHA-1 (truncated to m bits)."""
-        digest = hashlib.sha1(key.encode("utf-8")).digest()
-        return int.from_bytes(digest, "big") % self.size
+        """Map a string key to an identifier via SHA-1 (truncated to m bits).
+
+        Identifiers are memoised: the same indexing keys are hashed over and
+        over (once per publication per attribute), and consistent hashing is
+        pure, so a bounded cache turns the digest into a dict lookup.
+        """
+        identifier = self._hash_cache.get(key)
+        if identifier is None:
+            digest = hashlib.sha1(key.encode("utf-8")).digest()
+            identifier = int.from_bytes(digest, "big") % self.size
+            if len(self._hash_cache) >= _HASH_CACHE_LIMIT:
+                self._hash_cache.clear()
+            self._hash_cache[key] = identifier
+        return identifier
 
     def hash_keys(self, keys: Iterable[str]) -> List[int]:
         """Vector form of :meth:`hash_key`."""

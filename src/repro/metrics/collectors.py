@@ -51,21 +51,40 @@ class NodeLoad:
 
 
 class LoadTracker:
-    """Network-wide QPL/SL accounting, keyed by node address."""
+    """Network-wide QPL/SL accounting, keyed by node address.
+
+    Besides the per-node counters, the network-wide aggregates are maintained
+    incrementally so that :attr:`total_query_processing_load` and friends —
+    polled by the engine's metrics summary and by every rebalancing round —
+    are O(1) instead of a sum over all nodes.
+    """
 
     def __init__(self) -> None:
         self._per_node: Dict[str, NodeLoad] = defaultdict(NodeLoad)
+        self._total_qpl = 0
+        self._total_storage = 0
+        self._total_dropped = 0
+        self._total_answers = 0
+        self._participating = 0
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
     def record_tuple_received(self, address: str) -> None:
         """A node received a tuple and must search its stored queries."""
-        self._per_node[address].tuples_received += 1
+        load = self._per_node[address]
+        if load.query_processing_load == 0:
+            self._participating += 1
+        load.tuples_received += 1
+        self._total_qpl += 1
 
     def record_query_received(self, address: str) -> None:
         """A node received a rewritten query and must search its stored tuples."""
-        self._per_node[address].queries_received += 1
+        load = self._per_node[address]
+        if load.query_processing_load == 0:
+            self._participating += 1
+        load.queries_received += 1
+        self._total_qpl += 1
 
     def record_input_query_received(self, address: str) -> None:
         """A node received an input query for indexing."""
@@ -74,22 +93,27 @@ class LoadTracker:
     def record_query_stored(self, address: str) -> None:
         """A node stored a rewritten query locally."""
         self._per_node[address].queries_stored += 1
+        self._total_storage += 1
 
     def record_tuple_stored(self, address: str) -> None:
         """A node stored a tuple locally (value level)."""
         self._per_node[address].tuples_stored += 1
+        self._total_storage += 1
 
     def record_query_dropped(self, address: str, count: int = 1) -> None:
         """Stored rewritten queries were garbage collected."""
         self._per_node[address].queries_dropped += count
+        self._total_dropped += count
 
     def record_tuple_dropped(self, address: str, count: int = 1) -> None:
         """Stored tuples were garbage collected."""
         self._per_node[address].tuples_dropped += count
+        self._total_dropped += count
 
     def record_answer(self, address: str) -> None:
         """A node produced an answer for some input query."""
         self._per_node[address].answers_produced += 1
+        self._total_answers += 1
 
     # ------------------------------------------------------------------
     # per-node access
@@ -107,23 +131,23 @@ class LoadTracker:
     # ------------------------------------------------------------------
     @property
     def total_query_processing_load(self) -> int:
-        """Sum of QPL over all nodes."""
-        return sum(load.query_processing_load for load in self._per_node.values())
+        """Sum of QPL over all nodes; O(1)."""
+        return self._total_qpl
 
     @property
     def total_storage_load(self) -> int:
-        """Sum of cumulative SL over all nodes."""
-        return sum(load.storage_load for load in self._per_node.values())
+        """Sum of cumulative SL over all nodes; O(1)."""
+        return self._total_storage
 
     @property
     def total_current_storage(self) -> int:
-        """Sum of currently held items over all nodes."""
-        return sum(load.current_storage for load in self._per_node.values())
+        """Sum of currently held items over all nodes; O(1)."""
+        return self._total_storage - self._total_dropped
 
     @property
     def total_answers(self) -> int:
-        """Total answers produced network-wide."""
-        return sum(load.answers_produced for load in self._per_node.values())
+        """Total answers produced network-wide; O(1)."""
+        return self._total_answers
 
     def qpl_per_node(self, num_nodes: int) -> float:
         """Average QPL per node in a network of ``num_nodes``."""
@@ -153,12 +177,8 @@ class LoadTracker:
         return sorted(values, reverse=True)
 
     def participating_nodes(self) -> int:
-        """Number of nodes that incurred any query-processing load."""
-        return sum(
-            1
-            for load in self._per_node.values()
-            if load.query_processing_load > 0
-        )
+        """Number of nodes that incurred any query-processing load; O(1)."""
+        return self._participating
 
     def snapshot(self) -> Tuple[int, int]:
         """Return ``(total QPL, total cumulative SL)`` for delta computations."""
@@ -167,3 +187,8 @@ class LoadTracker:
     def reset(self) -> None:
         """Clear every counter."""
         self._per_node.clear()
+        self._total_qpl = 0
+        self._total_storage = 0
+        self._total_dropped = 0
+        self._total_answers = 0
+        self._participating = 0

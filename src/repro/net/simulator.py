@@ -31,19 +31,25 @@ class _ScheduledEvent:
     callback: Callable[..., None] = field(compare=False)
     args: Tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`SimulationKernel.schedule_at`, allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_kernel")
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, event: _ScheduledEvent, kernel: "SimulationKernel"):
         self._event = event
+        self._kernel = kernel
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
-        self._event.cancelled = True
+        event = self._event
+        if event.fired or event.cancelled:
+            return
+        event.cancelled = True
+        self._kernel._live_events -= 1
 
     @property
     def time(self) -> float:
@@ -65,6 +71,7 @@ class SimulationKernel:
         self._sequence = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._live_events = 0  # heap entries that are neither cancelled nor fired
 
     # ------------------------------------------------------------------
     # clock
@@ -109,7 +116,8 @@ class SimulationKernel:
             time=time, sequence=next(self._sequence), callback=callback, args=args
         )
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live_events += 1
+        return EventHandle(event, self)
 
     def schedule_in(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -131,6 +139,8 @@ class SimulationKernel:
             if event.time > self._now:
                 self._now = event.time
             self._events_processed += 1
+            self._live_events -= 1
+            event.fired = True
             event.callback(*event.args)
             return True
         return False
@@ -181,8 +191,8 @@ class SimulationKernel:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of events waiting in the queue (excluding cancelled ones)."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of events waiting in the queue (excluding cancelled ones); O(1)."""
+        return self._live_events
 
     @property
     def events_processed(self) -> int:

@@ -52,23 +52,27 @@ class TrafficStats:
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
-    def record_send(self, address: str, is_ric: bool = False) -> None:
-        """Charge one originated message to ``address``."""
-        counters = self._per_node[address]
-        counters.sent += 1
-        self._total_messages += 1
-        if is_ric:
-            counters.ric_sent += 1
-            self._total_ric_messages += 1
+    def record_send(self, address: str, is_ric: bool = False, count: int = 1) -> None:
+        """Charge ``count`` originated messages to ``address``.
 
-    def record_route(self, address: str, is_ric: bool = False) -> None:
-        """Charge one routed (forwarded) message to ``address``."""
+        Batch senders (``multiSend``) coalesce their accounting into a single
+        call instead of one bookkeeping round-trip per message.
+        """
         counters = self._per_node[address]
-        counters.routed += 1
-        self._total_messages += 1
+        counters.sent += count
+        self._total_messages += count
         if is_ric:
-            counters.ric_routed += 1
-            self._total_ric_messages += 1
+            counters.ric_sent += count
+            self._total_ric_messages += count
+
+    def record_route(self, address: str, is_ric: bool = False, count: int = 1) -> None:
+        """Charge ``count`` routed (forwarded) messages to ``address``."""
+        counters = self._per_node[address]
+        counters.routed += count
+        self._total_messages += count
+        if is_ric:
+            counters.ric_routed += count
+            self._total_ric_messages += count
 
     def record_path(
         self, sender: str, route: Iterable[str], is_ric: bool = False

@@ -179,3 +179,87 @@ def test_engine_matches_reference_on_random_workloads(seed, num_tuples):
     got = sorted(repr(v) for v in handle.values())
     expected = sorted(repr(v) for v in reference.answers(handle.query_id))
     assert got == expected
+
+
+# ---------------------------------------------------------------------------
+# Indexed node-local state vs naive scan semantics
+# ---------------------------------------------------------------------------
+_store_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "gc_time", "gc_seq", "lookup"]),
+        st.integers(min_value=0, max_value=5),   # value / cutoff selector
+        st.integers(min_value=0, max_value=30),  # clock component
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(_store_ops)
+def test_store_heap_expiry_matches_filter_semantics(ops):
+    """Heap-based expiry removes exactly the records a full scan would."""
+    from repro.data.store import TupleStore
+
+    store = TupleStore()
+    shadow = []  # (key, tuple) pairs still alive under naive filtering
+    schema = _catalog.get("R")
+    sequence = 0
+    for op, value, clock in ops:
+        if op == "add":
+            sequence += 1
+            tup = Tuple.from_schema(
+                schema, (value, value), pub_time=float(clock), sequence=sequence
+            )
+            key = f"R\x1fa\x1f{value!r}"
+            store.add(key, tup, now=float(clock))
+            shadow.append((key, tup))
+        elif op == "gc_time":
+            cutoff = float(clock)
+            expected = sum(1 for _, t in shadow if t.pub_time < cutoff)
+            shadow = [(k, t) for k, t in shadow if t.pub_time >= cutoff]
+            assert store.remove_published_before(cutoff) == expected
+        elif op == "gc_seq":
+            cutoff = value * 4
+            expected = sum(1 for _, t in shadow if t.sequence < cutoff)
+            shadow = [(k, t) for k, t in shadow if t.sequence >= cutoff]
+            assert store.remove_sequenced_before(cutoff) == expected
+        else:
+            prefix = "R\x1fa\x1f"
+            got = {t.identity for t in store.tuples_for_prefix(prefix)}
+            expected_ids = {t.identity for _, t in shadow}
+            assert got == expected_ids
+        assert len(store) == len(shadow)
+        assert store.distinct_tuples() == len({t.identity for _, t in shadow})
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.floats(min_value=0, max_value=50)),
+        min_size=1,
+        max_size=40,
+    ),
+    st.floats(min_value=0.5, max_value=10),
+)
+def test_altt_heap_expiry_matches_filter_semantics(events, delta):
+    """ALTT expiry drops exactly the entries older than Δ, in any add order."""
+    from repro.core.altt import AttributeLevelTupleTable
+
+    table = AttributeLevelTupleTable(delta=delta)
+    shadow = []  # (key, received_at) of retained entries
+    schema = _catalog.get("R")
+    sequence = 0
+    for is_expire, clock in events:
+        if is_expire:
+            cutoff = clock - delta
+            expected = sum(1 for _, at in shadow if at < cutoff)
+            shadow = [(k, at) for k, at in shadow if at >= cutoff]
+            assert table.expire(now=clock) == expected
+        else:
+            sequence += 1
+            tup = Tuple.from_schema(
+                schema, (1, 1), pub_time=clock, sequence=sequence
+            )
+            key = f"R\x1fa{sequence % 3}"
+            table.add(key, tup, now=clock)
+            shadow.append((key, clock))
+        assert len(table) == len(shadow)

@@ -125,3 +125,25 @@ class TestGuards:
             kernel.schedule_at(float(i + 1), lambda: None)
         kernel.run_until_idle()
         assert kernel.events_processed == 4
+
+
+class TestPendingEventsCounter:
+    def test_pending_events_is_tracked_incrementally(self):
+        kernel = SimulationKernel()
+        handles = [kernel.schedule_at(float(i), lambda: None) for i in range(5)]
+        assert kernel.pending_events == 5
+        handles[0].cancel()
+        handles[0].cancel()  # double cancel must not double count
+        assert kernel.pending_events == 4
+        kernel.run_until_idle()
+        assert kernel.pending_events == 0
+
+    def test_cancel_after_fire_keeps_counter_consistent(self):
+        kernel = SimulationKernel()
+        handle = kernel.schedule_at(1.0, lambda: None)
+        kernel.schedule_at(2.0, lambda: None)
+        kernel.step()
+        handle.cancel()  # no-op: the event already fired
+        assert kernel.pending_events == 1
+        kernel.run_until_idle()
+        assert kernel.pending_events == 0

@@ -1,0 +1,39 @@
+"""Opt-in smoke run of the benchmark suite (``-m bench_smoke``).
+
+Deselected by default (see ``pytest.ini``); run explicitly with::
+
+    PYTHONPATH=src python -m pytest -m bench_smoke
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_RUN_ALL_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "run_all.py"
+
+
+def _load_run_all():
+    spec = importlib.util.spec_from_file_location("bench_run_all", _RUN_ALL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # run_all.py imports its sibling microbenchmark module by name.
+    sys.path.insert(0, str(_RUN_ALL_PATH.parent))
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.remove(str(_RUN_ALL_PATH.parent))
+    return module
+
+
+@pytest.mark.bench_smoke
+def test_every_benchmark_survives_smoke_mode():
+    module = _load_run_all()
+    sys.path.insert(0, str(_RUN_ALL_PATH.parent))
+    try:
+        failures = module.run_all(verbose=False)
+    finally:
+        sys.path.remove(str(_RUN_ALL_PATH.parent))
+    assert failures == [], "\n".join(failures)
