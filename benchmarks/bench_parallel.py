@@ -1,0 +1,152 @@
+"""Wall-clock speedup of the parallel grid runner vs the serial loop.
+
+Times the same scenario grid three ways and records everything in
+``benchmarks/BENCH_parallel.json``:
+
+* **serial** — the plain in-process loop (``workers=1``, no checkpoint
+  reuse): what running the grid through the old figure-style harness costs,
+* **parallel (cold)** — fanned across worker processes, fresh output
+  directory.  ``cold_speedup = serial / parallel`` exceeds 1 whenever the
+  host has more than one core; on a single-core host the process fan-out
+  cannot beat the serial loop (the GIL-free workers still timeshare one
+  CPU), which the report calls out via ``cpu_count``/``single_core_host``,
+* **parallel (resume)** — re-running the sweep over the already streamed
+  per-cell checkpoints, the driver's steady state when a grid is interrupted
+  or extended.  This beats the serial loop on wall-clock on any host.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--smoke]
+        [--workers N] [--scenario NAME] [--output PATH]
+
+``--smoke`` shrinks every cell to a correctness sweep (used by
+``run_all.py`` / the ``bench_smoke`` marker); the recorded speedups are only
+meaningful in the default mode, where each cell carries real work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments.parallel import run_grid
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_parallel.json"
+DEFAULT_SCENARIO = "skew-sweep"
+DEFAULT_WORKERS = 4
+
+#: Grid sizing for the timed run: ten cells (5 thetas × 2 seeds) at the
+#: scenario's default sizes — each cell carries over a second of real
+#: experiment work, so process fan-out pays for itself.
+DEFAULT_SEEDS = (41, 42)
+DEFAULT_OVERRIDES: Dict[str, object] = {}
+SMOKE_SEEDS = (41,)
+SMOKE_OVERRIDES = {
+    "num_nodes": 12,
+    "num_queries": 8,
+    "num_tuples": 6,
+    "warmup_tuples": 0,
+}
+
+
+def run_bench(
+    scenario: str = DEFAULT_SCENARIO,
+    workers: int = DEFAULT_WORKERS,
+    smoke: bool = False,
+) -> Dict[str, object]:
+    """Time the serial and the parallel sweep of one scenario grid."""
+    seeds: List[int] = list(SMOKE_SEEDS if smoke else DEFAULT_SEEDS)
+    overrides = dict(SMOKE_OVERRIDES if smoke else DEFAULT_OVERRIDES)
+    with tempfile.TemporaryDirectory(prefix="bench_parallel_") as tmp:
+        serial = run_grid(
+            scenario,
+            Path(tmp) / "serial",
+            workers=1,
+            seeds=seeds,
+            overrides=overrides,
+            resume=False,
+        )
+        parallel = run_grid(
+            scenario,
+            Path(tmp) / "parallel",
+            workers=workers,
+            seeds=seeds,
+            overrides=overrides,
+            resume=False,
+        )
+        resumed = run_grid(
+            scenario,
+            Path(tmp) / "parallel",
+            workers=workers,
+            seeds=seeds,
+            overrides=overrides,
+            resume=True,
+        )
+    # Both sweeps must have produced identical per-cell metrics: the speedup
+    # only counts if the parallel path computes the same grid.
+    serial_summaries = {
+        outcome.cell.cell_id: outcome.summary for outcome in serial.outcomes
+    }
+    parallel_summaries = {
+        outcome.cell.cell_id: outcome.summary for outcome in parallel.outcomes
+    }
+    if serial_summaries != parallel_summaries:
+        raise AssertionError("parallel grid results diverged from serial")
+    if resumed.computed != 0:
+        raise AssertionError("resume pass recomputed cells it should have cached")
+    cpu_count = multiprocessing.cpu_count()
+
+    def _speedup(seconds: float) -> float:
+        return serial.elapsed_seconds / seconds if seconds > 0 else 0.0
+
+    return {
+        "scenario": scenario,
+        "cells": len(serial.outcomes),
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "single_core_host": cpu_count == 1,
+        "smoke": smoke,
+        "serial_seconds": serial.elapsed_seconds,
+        "parallel_seconds": parallel.elapsed_seconds,
+        "resume_seconds": resumed.elapsed_seconds,
+        "cold_speedup": _speedup(parallel.elapsed_seconds),
+        "resume_speedup": _speedup(resumed.elapsed_seconds),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes (correctness sweep only)")
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument("--scenario", default=DEFAULT_SCENARIO)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    report = run_bench(
+        scenario=args.scenario, workers=args.workers, smoke=args.smoke
+    )
+    print(
+        f"{report['scenario']}: {report['cells']} cells — "
+        f"serial {report['serial_seconds']:.2f}s, "
+        f"parallel({report['workers']}) {report['parallel_seconds']:.2f}s "
+        f"({report['cold_speedup']:.2f}x), "
+        f"resume {report['resume_seconds']:.2f}s "
+        f"({report['resume_speedup']:.2f}x)"
+    )
+    if report["single_core_host"]:
+        print(
+            "note: single-core host — process fan-out cannot beat the serial "
+            "loop cold; see resume_speedup for the driver's steady state"
+        )
+    if not args.smoke:
+        args.output.write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

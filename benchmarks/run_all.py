@@ -80,6 +80,19 @@ def run_all(verbose: bool = True) -> List[str]:
         if verbose:
             print("bench_micro_hotpaths: FAILED")
 
+    try:
+        import bench_parallel
+    except ImportError:
+        from benchmarks import bench_parallel  # type: ignore[no-redef]
+    try:
+        report = bench_parallel.run_bench(smoke=True, workers=2)
+        if verbose:
+            print(f"bench_parallel: ok ({report['cells']} cells)")
+    except Exception:
+        failures.append(f"bench_parallel failed:\n{traceback.format_exc()}")
+        if verbose:
+            print("bench_parallel: FAILED")
+
     return failures
 
 

@@ -37,6 +37,7 @@ from repro.dht.loadbalance import IdMovementBalancer
 from repro.errors import (
     EngineError,
     QueryRegistrationError,
+    SchemaError,
     UnknownRelationError,
 )
 from repro.metrics.collectors import LoadTracker
@@ -220,8 +221,9 @@ class RJoinEngine:
         process_each: bool = True,
     ) -> List[Tuple]:
         """Publish ``(relation, values)`` pairs; returns the created tuples."""
+        checked = self._checked_rows(rows, operation="publish_many")
         published = []
-        for relation, values in rows:
+        for relation, values in checked:
             published.append(
                 self.publish(relation, values, process=process_each)
             )
@@ -250,14 +252,10 @@ class RJoinEngine:
         """
         if publisher is not None and publisher not in self.nodes:
             raise EngineError(f"unknown publisher node {publisher!r}")
-        rows = list(rows)
-        # Validate the whole batch before mutating any engine state, so a bad
-        # row cannot leave phantom sequence numbers or oracle counts behind.
-        for relation, _ in rows:
-            if relation not in self.catalog:
-                raise UnknownRelationError(
-                    f"relation {relation!r} is not registered with the engine"
-                )
+        # Validate the whole batch (shape, relation, arity) before mutating any
+        # engine state, so a bad row cannot leave phantom sequence numbers or
+        # oracle counts behind.
+        rows = self._checked_rows(rows, operation="publish_batch")
         published_before = self._published
         published: List[Tuple] = []
         by_publisher: Dict[str, List[Tuple]] = {}
@@ -275,17 +273,63 @@ class RJoinEngine:
         self._maybe_rebalance(published_before)
         return published
 
+    def _checked_rows(
+        self, rows: Iterable[tuple], operation: str
+    ) -> List[tuple]:
+        """Validate ``(relation, values)`` rows without touching engine state.
+
+        Every row must be a two-element ``(relation, values)`` pair naming a
+        registered relation, with ``values`` a sequence of the schema's arity.
+        Malformed rows raise a descriptive :class:`EngineError` (instead of the
+        bare ``ValueError`` tuple unpacking would produce), unknown relations
+        raise :class:`UnknownRelationError` and arity mismatches raise
+        :class:`SchemaError` — all *before* any sequence number is assigned or
+        any oracle count is recorded, so a bad row mid-batch cannot leave
+        phantom state behind.
+        """
+        checked: List[tuple] = []
+        for position, row in enumerate(rows):
+            try:
+                relation, values = row
+            except (TypeError, ValueError):
+                raise EngineError(
+                    f"{operation} row {position} must be a (relation, values) "
+                    f"pair; got {row!r}"
+                ) from None
+            if relation not in self.catalog:
+                raise UnknownRelationError(
+                    f"relation {relation!r} is not registered with the engine"
+                )
+            schema = self.catalog.get(relation)
+            try:
+                values = tuple(values)
+            except TypeError:
+                raise EngineError(
+                    f"{operation} row {position}: values for relation "
+                    f"{relation!r} must be a sequence; got {values!r}"
+                ) from None
+            if len(values) != schema.arity:
+                raise SchemaError(
+                    f"{operation} row {position}: tuple for relation "
+                    f"{relation!r} has {len(values)} values but the schema "
+                    f"has arity {schema.arity}"
+                )
+            checked.append((relation, values))
+        return checked
+
     def _build_tuple(self, relation: str, values: Sequence[object], publisher: str) -> Tuple:
         """Sequence, construct and oracle-record one publication."""
         schema = self.catalog.get(relation)
-        self._sequence += 1
+        # Construct (and schema-validate) first: the sequence counter and the
+        # oracle counts only advance once the tuple is known to be well formed.
         tup = Tuple.from_schema(
             schema,
             values,
             pub_time=self.kernel.now,
-            sequence=self._sequence,
+            sequence=self._sequence + 1,
             publisher=publisher,
         )
+        self._sequence += 1
         self._record_oracle(tup, schema)
         return tup
 

@@ -1,0 +1,8 @@
+"""``python -m repro.experiments`` — the scenario-grid CLI."""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

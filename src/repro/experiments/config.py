@@ -46,6 +46,18 @@ class ExperimentConfig:
     join_arity: int = 4
     window: Optional[WindowSpec] = None
     distinct: bool = False
+    # Arrival pattern ---------------------------------------------------------
+    #: ``"per-tuple"`` publishes (and drains) one tuple at a time, mirroring
+    #: the paper's steady arrivals; ``"batch"`` publishes bursts of
+    #: ``batch_size`` tuples through ``RJoinEngine.publish_batch`` (one drain
+    #: per burst), modelling high-rate batched arrivals.
+    publish_mode: str = "per-tuple"
+    batch_size: int = 1
+    # Adversarial value skew ---------------------------------------------------
+    #: Fraction of tuples whose values are forced onto the hottest keys (see
+    #: :class:`repro.workload.generator.WorkloadSpec`).
+    hot_key_fraction: float = 0.0
+    hot_value_count: int = 1
     # Warm-up -------------------------------------------------------------------
     #: Tuples published *before* the queries are submitted.  They train the
     #: rate-of-incoming-tuple observations (RIC for RJoin, the oracle for the
@@ -67,6 +79,15 @@ class ExperimentConfig:
             raise ExperimentError("warmup_tuples must be non-negative")
         if self.join_arity < 2:
             raise ExperimentError("experiments need at least two-way joins")
+        if self.publish_mode not in ("per-tuple", "batch"):
+            raise ExperimentError(
+                f"publish_mode must be 'per-tuple' or 'batch', "
+                f"got {self.publish_mode!r}"
+            )
+        if self.batch_size < 1:
+            raise ExperimentError("batch_size must be at least one tuple")
+        if not 0.0 <= self.hot_key_fraction <= 1.0:
+            raise ExperimentError("hot_key_fraction must lie in [0, 1]")
         for checkpoint in self.checkpoints:
             if checkpoint <= 0 or checkpoint > self.num_tuples:
                 raise ExperimentError(

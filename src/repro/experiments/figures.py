@@ -2,10 +2,12 @@
 
 Every ``figureN()`` function runs the corresponding experiment(s) and returns
 a :class:`FigureResult` holding the same data series the paper plots, plus a
-plain-text rendering used by the benchmark harness.  The default parameters
-use the reduced scale documented in EXPERIMENTS.md; passing
-``REPRO_FULL_SCALE=1`` (or explicit keyword overrides) switches to the
-paper's sizes.
+plain-text rendering used by the benchmark harness.  The base configurations
+and default sweeps come from the scenario registry
+(:mod:`repro.experiments.scenarios` — scenarios ``fig2`` … ``fig9``), so the
+figures, the parallel grid runner and the CLI all share one set of
+definitions; passing ``REPRO_FULL_SCALE=1`` (or explicit keyword overrides)
+switches to the paper's sizes.
 
 Figure 1 of the paper is a worked example rather than an experiment; it is
 reproduced by ``examples/paper_example_figure1.py``.
@@ -16,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.config import ExperimentConfig, is_full_scale
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.scenarios import get_scenario
 from repro.metrics.report import format_table, group_ranked, participation_count
 from repro.sql.ast import WindowSpec
 
@@ -53,9 +56,16 @@ class FigureResult:
         return self.series[name]
 
 
-def _scaled(default: ExperimentConfig, paper: ExperimentConfig) -> ExperimentConfig:
-    """Pick the paper-scale configuration when REPRO_FULL_SCALE is set."""
-    return paper if is_full_scale() else default
+def _scenario_base(name: str, seed: int) -> ExperimentConfig:
+    """The registry's base configuration for a figure scenario, re-seeded."""
+    return get_scenario(name).base().with_overrides(seed=seed)
+
+
+def _scenario_sweep(name: str, parameter: str) -> List[object]:
+    """The default sweep values of a figure scenario's variants."""
+    return [
+        variant.overrides[parameter] for variant in get_scenario(name).variants()
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -68,13 +78,7 @@ def figure2(
     seed: int = 42,
 ) -> FigureResult:
     """Worst vs Random vs RJoin: traffic, QPL and SL per node (Figure 2)."""
-    base = _scaled(
-        ExperimentConfig(name="fig2", num_nodes=50, num_queries=100, num_tuples=200,
-                         checkpoints=[50, 100, 200], warmup_tuples=60, seed=seed),
-        ExperimentConfig(name="fig2", num_nodes=1000, num_queries=20000,
-                         num_tuples=400, checkpoints=[50, 100, 200, 400],
-                         warmup_tuples=200, seed=seed),
-    )
+    base = _scenario_base("fig2", seed)
     if num_nodes is not None:
         base = base.with_overrides(num_nodes=num_nodes)
     if num_queries is not None:
@@ -85,7 +89,7 @@ def figure2(
             checkpoints=checkpoints, num_tuples=max(checkpoints)
         )
 
-    strategies = ("worst", "random", "rjoin")
+    strategies = get_scenario("fig2").strategies
     experiments: Dict[str, ExperimentResult] = {}
     for strategy in strategies:
         config = base.with_overrides(name=f"fig2-{strategy}", strategy=strategy)
@@ -133,11 +137,8 @@ def figure3(
 ) -> FigureResult:
     """RJoin under an increasing tuple rate (Figure 3)."""
     if tuple_counts is None:
-        tuple_counts = [40, 80, 160, 320, 640, 1280, 2560] if is_full_scale() else [20, 40, 80, 160]
-    base = _scaled(
-        ExperimentConfig(name="fig3", num_nodes=100, num_queries=400, num_tuples=1, warmup_tuples=40, seed=seed),
-        ExperimentConfig(name="fig3", num_nodes=1000, num_queries=20000, num_tuples=1, warmup_tuples=200, seed=seed),
-    )
+        tuple_counts = _scenario_sweep("fig3", "num_tuples")
+    base = _scenario_base("fig3", seed)
     if num_nodes is not None:
         base = base.with_overrides(num_nodes=num_nodes)
     if num_queries is not None:
@@ -187,16 +188,10 @@ def figure4(
 ) -> FigureResult:
     """RJoin under an increasing number of indexed queries (Figure 4)."""
     if query_counts is None:
-        query_counts = (
-            [2000, 4000, 8000, 16000, 32000] if is_full_scale() else [100, 200, 400, 800]
-        )
-    default_tuples = 1000 if is_full_scale() else 60
-    base = _scaled(
-        ExperimentConfig(name="fig4", num_nodes=100, num_queries=1,
-                         num_tuples=num_tuples or default_tuples, warmup_tuples=40, seed=seed),
-        ExperimentConfig(name="fig4", num_nodes=1000, num_queries=1,
-                         num_tuples=num_tuples or default_tuples, warmup_tuples=200, seed=seed),
-    )
+        query_counts = _scenario_sweep("fig4", "num_queries")
+    base = _scenario_base("fig4", seed)
+    if num_tuples is not None:
+        base = base.with_overrides(num_tuples=num_tuples)
     if num_nodes is not None:
         base = base.with_overrides(num_nodes=num_nodes)
 
@@ -243,14 +238,13 @@ def figure5(
     num_nodes: Optional[int] = None,
     num_queries: Optional[int] = None,
     num_tuples: Optional[int] = None,
-    thetas: Sequence[float] = (0.3, 0.5, 0.7, 0.9),
+    thetas: Optional[Sequence[float]] = None,
     seed: int = 42,
 ) -> FigureResult:
     """RJoin under increasingly skewed workloads (Figure 5)."""
-    base = _scaled(
-        ExperimentConfig(name="fig5", num_nodes=100, num_queries=300, num_tuples=100, warmup_tuples=0, seed=seed),
-        ExperimentConfig(name="fig5", num_nodes=1000, num_queries=20000, num_tuples=1000, warmup_tuples=0, seed=seed),
-    )
+    if thetas is None:
+        thetas = _scenario_sweep("fig5", "zipf_theta")
+    base = _scenario_base("fig5", seed)
     if num_nodes is not None:
         base = base.with_overrides(num_nodes=num_nodes)
     if num_queries is not None:
@@ -304,14 +298,13 @@ def figure6(
     num_nodes: Optional[int] = None,
     num_queries: Optional[int] = None,
     num_tuples: Optional[int] = None,
-    arities: Sequence[int] = (4, 6, 8),
+    arities: Optional[Sequence[int]] = None,
     seed: int = 42,
 ) -> FigureResult:
     """RJoin with 4-, 6- and 8-way join queries (Figure 6)."""
-    base = _scaled(
-        ExperimentConfig(name="fig6", num_nodes=100, num_queries=200, num_tuples=80, warmup_tuples=40, seed=seed),
-        ExperimentConfig(name="fig6", num_nodes=1000, num_queries=20000, num_tuples=1000, warmup_tuples=200, seed=seed),
-    )
+    if arities is None:
+        arities = _scenario_sweep("fig6", "join_arity")
+    base = _scenario_base("fig6", seed)
     if num_nodes is not None:
         base = base.with_overrides(num_nodes=num_nodes)
     if num_queries is not None:
@@ -358,6 +351,14 @@ def figure6(
 # ---------------------------------------------------------------------------
 # Figures 7 and 8 — sliding window size
 # ---------------------------------------------------------------------------
+def _figure_window_sizes() -> List[int]:
+    """Window sizes of the fig7 scenario's variants (shared with Figure 8)."""
+    return [
+        int(variant.overrides["window"].size)
+        for variant in get_scenario("fig7").variants()
+    ]
+
+
 def _window_sweep(
     window_sizes: Sequence[int],
     num_nodes: Optional[int],
@@ -366,10 +367,7 @@ def _window_sweep(
     capture_per_tuple: bool,
     seed: int,
 ) -> Dict[str, ExperimentResult]:
-    base = _scaled(
-        ExperimentConfig(name="fig7", num_nodes=100, num_queries=250, num_tuples=200, warmup_tuples=40, seed=seed),
-        ExperimentConfig(name="fig7", num_nodes=1000, num_queries=20000, num_tuples=1000, warmup_tuples=200, seed=seed),
-    )
+    base = _scenario_base("fig7", seed)
     if num_nodes is not None:
         base = base.with_overrides(num_nodes=num_nodes)
     if num_queries is not None:
@@ -397,7 +395,7 @@ def figure7(
 ) -> FigureResult:
     """Effect of the sliding-window size on traffic, QPL and SL (Figure 7)."""
     if window_sizes is None:
-        window_sizes = [50, 100, 200, 400, 1000] if is_full_scale() else [25, 50, 100, 200]
+        window_sizes = _figure_window_sizes()
     results = _window_sweep(
         window_sizes, num_nodes, num_queries, num_tuples, False, seed
     )
@@ -445,7 +443,7 @@ def figure8(
 ) -> FigureResult:
     """Cumulative QPL and SL per incoming tuple for each window size (Figure 8)."""
     if window_sizes is None:
-        window_sizes = [50, 100, 200, 400, 1000] if is_full_scale() else [25, 50, 100, 200]
+        window_sizes = _figure_window_sizes()
     results = _window_sweep(
         window_sizes, num_nodes, num_queries, num_tuples, True, seed
     )
@@ -491,10 +489,7 @@ def figure9(
     seed: int = 42,
 ) -> FigureResult:
     """Load distribution with and without id-movement balancing (Figure 9)."""
-    base = _scaled(
-        ExperimentConfig(name="fig9", num_nodes=100, num_queries=300, num_tuples=150, warmup_tuples=40, seed=seed),
-        ExperimentConfig(name="fig9", num_nodes=1000, num_queries=20000, num_tuples=1000, warmup_tuples=200, seed=seed),
-    )
+    base = _scenario_base("fig9", seed)
     if num_nodes is not None:
         base = base.with_overrides(num_nodes=num_nodes)
     if num_queries is not None:

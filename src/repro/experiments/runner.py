@@ -157,6 +157,9 @@ def build_workload(config: ExperimentConfig) -> WorkloadGenerator:
         join_arity=config.join_arity,
         window=config.window,
         distinct=config.distinct,
+        burst_size=config.batch_size,
+        hot_key_fraction=config.hot_key_fraction,
+        hot_value_count=config.hot_value_count,
         seed=config.seed,
     )
     return WorkloadGenerator(spec)
@@ -182,23 +185,47 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     baseline = engine.metrics_summary()
     messages_after_queries, ric_after_queries = engine.traffic.snapshot()
 
-    # Phase 2: publish tuples, tracking checkpoints and per-tuple load.
+    # Phase 2: publish tuples, tracking checkpoints and per-tuple load.  In
+    # batch mode the stream is grouped into bursts handed to publish_batch
+    # (one network drain per burst); snapshots are then taken at burst
+    # granularity, so per-tuple series repeat the post-burst value for every
+    # tuple of the burst and checkpoints snap to the end of the burst that
+    # crosses them.
     checkpoints: Dict[int, Dict[str, float]] = {}
     cumulative_qpl: List[int] = []
     cumulative_storage: List[int] = []
     checkpoint_set = set(config.checkpoints)
-    for index, generated in enumerate(
-        generator.tuple_stream(config.num_tuples), start=1
-    ):
-        engine.publish(generated.relation, generated.values)
+
+    def _capture(index: int, previous_index: int) -> None:
         if config.capture_per_tuple:
             qpl_total, storage_total = engine.loads.snapshot()
-            cumulative_qpl.append(qpl_total - int(baseline.get("total_qpl", 0)))
-            cumulative_storage.append(
-                storage_total - int(baseline.get("total_storage", 0))
+            for _ in range(index - previous_index):
+                cumulative_qpl.append(qpl_total - int(baseline.get("total_qpl", 0)))
+                cumulative_storage.append(
+                    storage_total - int(baseline.get("total_storage", 0))
+                )
+        crossed = [c for c in checkpoint_set if previous_index < c <= index]
+        if crossed:
+            summary_now = engine.metrics_summary()
+            for checkpoint in crossed:
+                checkpoints[checkpoint] = summary_now
+
+    if config.publish_mode == "batch":
+        index = 0
+        for batch in generator.tuple_batches(
+            config.num_tuples, config.batch_size
+        ):
+            engine.publish_batch(
+                [(generated.relation, generated.values) for generated in batch]
             )
-        if index in checkpoint_set:
-            checkpoints[index] = engine.metrics_summary()
+            previous_index, index = index, index + len(batch)
+            _capture(index, previous_index)
+    else:
+        for index, generated in enumerate(
+            generator.tuple_stream(config.num_tuples), start=1
+        ):
+            engine.publish(generated.relation, generated.values)
+            _capture(index, index - 1)
 
     summary = engine.metrics_summary()
     messages_total, ric_total = engine.traffic.snapshot()

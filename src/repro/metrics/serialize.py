@@ -1,0 +1,173 @@
+"""JSON-serializable schema for experiment results.
+
+The parallel grid runner streams one JSON document per grid cell to disk so
+that interrupted sweeps can resume and downstream tooling (reports, plots,
+regression diffs) can consume results without importing the engine.  This
+module owns the schema: converting :class:`ExperimentConfig` /
+:class:`ExperimentResult` to plain JSON-safe dictionaries, and the
+mean/stddev aggregation applied across seeds.
+
+``RESULT_SCHEMA_VERSION`` is bumped on every incompatible change; the runner
+re-computes (instead of reusing) checkpoint files written under a different
+version.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import fields
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult
+from repro.sql.ast import WindowSpec
+
+RESULT_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# configs
+# ---------------------------------------------------------------------------
+def window_to_dict(window: Optional[WindowSpec]) -> Optional[Dict[str, object]]:
+    """A JSON-safe rendering of a window specification."""
+    if window is None:
+        return None
+    return {"size": float(window.size), "mode": window.mode}
+
+
+def window_from_dict(data: Optional[Mapping[str, object]]) -> Optional[WindowSpec]:
+    """Rebuild a :class:`WindowSpec` from :func:`window_to_dict` output."""
+    if data is None:
+        return None
+    return WindowSpec(size=float(data["size"]), mode=str(data["mode"]))
+
+
+def config_to_dict(config: ExperimentConfig) -> Dict[str, object]:
+    """A JSON-safe rendering of an experiment configuration."""
+    data: Dict[str, object] = {}
+    for spec_field in fields(config):
+        value = getattr(config, spec_field.name)
+        if isinstance(value, WindowSpec):
+            value = window_to_dict(value)
+        elif isinstance(value, tuple):
+            value = list(value)
+        data[spec_field.name] = value
+    return data
+
+
+def config_from_dict(data: Mapping[str, object]) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from :func:`config_to_dict` output."""
+    known = {spec_field.name for spec_field in fields(ExperimentConfig)}
+    kwargs = {key: value for key, value in data.items() if key in known}
+    if kwargs.get("window") is not None:
+        kwargs["window"] = window_from_dict(kwargs["window"])  # type: ignore[arg-type]
+    return ExperimentConfig(**kwargs)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+def result_to_dict(result: ExperimentResult) -> Dict[str, object]:
+    """Serialize everything a report needs from one experiment run.
+
+    Checkpoint keys become strings (JSON objects cannot have integer keys);
+    :func:`result_from_dict` restores them.
+    """
+    return {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "config": config_to_dict(result.config),
+        "summary": dict(result.summary),
+        "baseline": dict(result.baseline),
+        "warmup_baseline": dict(result.warmup_baseline),
+        "messages_total": int(result.messages_total),
+        "ric_messages_total": int(result.ric_messages_total),
+        "messages_tuple_phase": int(result.messages_tuple_phase),
+        "ric_messages_tuple_phase": int(result.ric_messages_tuple_phase),
+        "ranked_qpl": [int(v) for v in result.ranked_qpl],
+        "ranked_storage": [int(v) for v in result.ranked_storage],
+        "ranked_storage_current": [int(v) for v in result.ranked_storage_current],
+        "ranked_traffic": [int(v) for v in result.ranked_traffic],
+        "checkpoints": {
+            str(index): dict(snapshot)
+            for index, snapshot in result.checkpoints.items()
+        },
+        "cumulative_qpl": [int(v) for v in result.cumulative_qpl],
+        "cumulative_storage": [int(v) for v in result.cumulative_storage],
+        "answers": int(result.answers),
+        # Derived per-figure quantities, precomputed so that reports never
+        # need the ExperimentResult class.
+        "derived": {
+            "messages_per_node": result.messages_per_node,
+            "ric_messages_per_node": result.ric_messages_per_node,
+            "messages_per_node_per_tuple": result.messages_per_node_per_tuple,
+            "ric_messages_per_node_per_tuple": result.ric_messages_per_node_per_tuple,
+            "qpl_per_node": result.qpl_per_node,
+            "storage_per_node": result.storage_per_node,
+            "participating_nodes": float(result.participating_nodes),
+            "max_qpl": float(result.max_qpl),
+            "max_storage": float(result.max_storage),
+        },
+    }
+
+
+def result_from_dict(data: Mapping[str, object]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` output."""
+    return ExperimentResult(
+        config=config_from_dict(data["config"]),  # type: ignore[arg-type]
+        summary=dict(data["summary"]),  # type: ignore[arg-type]
+        baseline=dict(data.get("baseline", {})),  # type: ignore[arg-type]
+        warmup_baseline=dict(data.get("warmup_baseline", {})),  # type: ignore[arg-type]
+        messages_total=int(data["messages_total"]),  # type: ignore[arg-type]
+        ric_messages_total=int(data["ric_messages_total"]),  # type: ignore[arg-type]
+        messages_tuple_phase=int(data["messages_tuple_phase"]),  # type: ignore[arg-type]
+        ric_messages_tuple_phase=int(data["ric_messages_tuple_phase"]),  # type: ignore[arg-type]
+        ranked_qpl=list(data.get("ranked_qpl", [])),  # type: ignore[arg-type]
+        ranked_storage=list(data.get("ranked_storage", [])),  # type: ignore[arg-type]
+        ranked_storage_current=list(data.get("ranked_storage_current", [])),  # type: ignore[arg-type]
+        ranked_traffic=list(data.get("ranked_traffic", [])),  # type: ignore[arg-type]
+        checkpoints={
+            int(index): dict(snapshot)
+            for index, snapshot in dict(data.get("checkpoints", {})).items()
+        },
+        cumulative_qpl=list(data.get("cumulative_qpl", [])),  # type: ignore[arg-type]
+        cumulative_storage=list(data.get("cumulative_storage", [])),  # type: ignore[arg-type]
+        answers=int(data.get("answers", 0)),  # type: ignore[arg-type]
+    )
+
+
+# ---------------------------------------------------------------------------
+# aggregation across seeds
+# ---------------------------------------------------------------------------
+def mean_stddev(values: Sequence[float]) -> Dict[str, float]:
+    """Mean, population standard deviation, min, max and count of ``values``."""
+    values = [float(v) for v in values]
+    if not values:
+        return {"mean": 0.0, "stddev": 0.0, "min": 0.0, "max": 0.0, "count": 0}
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return {
+        "mean": mean,
+        "stddev": math.sqrt(variance),
+        "min": min(values),
+        "max": max(values),
+        "count": len(values),
+    }
+
+
+def aggregate_metrics(
+    per_seed: Sequence[Mapping[str, float]],
+) -> Dict[str, Dict[str, float]]:
+    """Mean/stddev per metric across per-seed metric dictionaries.
+
+    Only metrics present in *every* run are aggregated, so a partial cell
+    cannot silently dilute a mean.
+    """
+    if not per_seed:
+        return {}
+    shared = set(per_seed[0])
+    for metrics in per_seed[1:]:
+        shared &= set(metrics)
+    return {
+        name: mean_stddev([metrics[name] for metrics in per_seed])
+        for name in sorted(shared)
+    }

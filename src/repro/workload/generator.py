@@ -44,6 +44,18 @@ class WorkloadSpec:
     projection_size: int = 2          # attributes in the select list
     window: Optional[WindowSpec] = None
     distinct: bool = False
+    # Arrival pattern ------------------------------------------------------
+    #: Tuples per arrival burst; ``tuple_batches`` groups the stream into
+    #: bursts of this size (1 = steady per-tuple arrivals).
+    burst_size: int = 1
+    # Adversarial value skew ------------------------------------------------
+    #: Probability that a generated tuple is a "hot-key" tuple: every one of
+    #: its values is drawn uniformly from the ``hot_value_count`` most popular
+    #: values instead of the Zipf value distribution.  0.0 (the default)
+    #: leaves the classic Section 8 stream byte-for-byte unchanged.
+    hot_key_fraction: float = 0.0
+    #: Size of the hot value set used by hot-key tuples.
+    hot_value_count: int = 1
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -60,6 +72,14 @@ class WorkloadSpec:
             )
         if self.projection_size < 1:
             raise ConfigurationError("the select list needs at least one attribute")
+        if self.burst_size < 1:
+            raise ConfigurationError("burst_size must be at least one tuple")
+        if not 0.0 <= self.hot_key_fraction <= 1.0:
+            raise ConfigurationError("hot_key_fraction must lie in [0, 1]")
+        if not 1 <= self.hot_value_count <= self.value_domain:
+            raise ConfigurationError(
+                "hot_value_count must lie in [1, value_domain]"
+            )
 
 
 class WorkloadGenerator:
@@ -82,6 +102,9 @@ class WorkloadGenerator:
             self.spec.zipf_theta,
             rng=random.Random(self.spec.seed + 2),
         )
+        # Hot-key draws use their own generator so that enabling (or sweeping)
+        # ``hot_key_fraction`` never perturbs the classic Zipf streams above.
+        self._hot_rng = random.Random(self.spec.seed + 3)
 
     # ------------------------------------------------------------------
     # queries
@@ -131,10 +154,26 @@ class WorkloadGenerator:
     # tuples
     # ------------------------------------------------------------------
     def generate_tuple(self) -> GeneratedTuple:
-        """Generate one tuple: Zipf relation choice, Zipf value per attribute."""
+        """Generate one tuple: Zipf relation choice, Zipf value per attribute.
+
+        With probability ``hot_key_fraction`` the tuple is adversarially hot:
+        every value comes from the ``hot_value_count`` most popular values,
+        concentrating load on the nodes owning those keys.
+        """
         relation = self._relation_names[self._relation_sampler.sample()]
         schema = self.catalog.get(relation)
-        values = tuple(self._value_sampler.sample() for _ in schema.attributes)
+        if (
+            self.spec.hot_key_fraction > 0.0
+            and self._hot_rng.random() < self.spec.hot_key_fraction
+        ):
+            values = tuple(
+                self._hot_rng.randrange(self.spec.hot_value_count)
+                for _ in schema.attributes
+            )
+        else:
+            values = tuple(
+                self._value_sampler.sample() for _ in schema.attributes
+            )
         return GeneratedTuple(relation=relation, values=values)
 
     def generate_tuples(self, count: int) -> List[GeneratedTuple]:
@@ -147,6 +186,29 @@ class WorkloadGenerator:
         while count is None or produced < count:
             yield self.generate_tuple()
             produced += 1
+
+    def tuple_batches(
+        self, count: Optional[int] = None, batch_size: Optional[int] = None
+    ) -> Iterator[List[GeneratedTuple]]:
+        """Yield the tuple stream grouped into arrival bursts.
+
+        ``batch_size`` defaults to the spec's ``burst_size``.  The underlying
+        stream is identical to :meth:`tuple_stream` — only the grouping
+        differs — so batched and per-tuple publication see the same tuples in
+        the same order for a fixed seed.  The final burst may be short when
+        ``count`` is not a multiple of the burst size.
+        """
+        size = self.spec.burst_size if batch_size is None else int(batch_size)
+        if size < 1:
+            raise ConfigurationError("batch_size must be at least one tuple")
+        batch: List[GeneratedTuple] = []
+        for generated in self.tuple_stream(count):
+            batch.append(generated)
+            if len(batch) >= size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
 
     # ------------------------------------------------------------------
     # derived helpers

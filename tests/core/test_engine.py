@@ -4,7 +4,12 @@ import pytest
 
 from repro.core.config import RJoinConfig
 from repro.core.engine import RJoinEngine
-from repro.errors import EngineError, QueryRegistrationError, UnknownRelationError
+from repro.errors import (
+    EngineError,
+    QueryRegistrationError,
+    SchemaError,
+    UnknownRelationError,
+)
 from repro.sql.ast import WindowSpec
 from repro.sql.parser import parse_query
 
@@ -200,6 +205,78 @@ class TestStrategiesProduceSameAnswers:
         assert handle.values() == [(1, 99)]
 
 
+class TestBatchSequentialEquivalence:
+    """Same seed ⇒ batch and per-tuple publication agree (all strategies)."""
+
+    ROWS = [
+        ("R", (1, 10)),
+        ("S", (10, 20)),
+        ("T", (20, 99)),
+        ("R", (2, 10)),
+        ("S", (3, 4)),
+        ("T", (4, 7)),
+        ("S", (10, 21)),
+        ("T", (21, 55)),
+    ]
+    SQL = "SELECT R.a, T.f FROM R, S, T WHERE R.b = S.c AND S.d = T.e"
+    #: Traffic totals are allowed to differ for RJoin only: with one drain per
+    #: batch, rewritten queries can be in flight concurrently, so the same
+    #: logical rewrite may trigger duplicate RIC lookups (answers are deduped,
+    #: but every transmitted message is still counted).  Load, storage and
+    #: answer metrics must match exactly for every strategy.
+    TRAFFIC_KEYS = (
+        "total_messages",
+        "ric_messages",
+        "messages_per_node",
+        "ric_messages_per_node",
+    )
+
+    @pytest.mark.parametrize("strategy", ["rjoin", "random", "worst", "first"])
+    def test_batch_matches_sequential(self, small_catalog, strategy):
+        sequential = RJoinEngine(
+            RJoinConfig(num_nodes=16, seed=7, strategy=strategy),
+            catalog=small_catalog,
+        )
+        batched = RJoinEngine(
+            RJoinConfig(num_nodes=16, seed=7, strategy=strategy),
+            catalog=small_catalog,
+        )
+        h_seq = sequential.submit(self.SQL)
+        h_batch = batched.submit(self.SQL)
+        for relation, values in self.ROWS:
+            sequential.publish(relation, values)
+        batched.publish_batch(self.ROWS)
+
+        assert sorted(h_seq.values()) == sorted(h_batch.values())
+        summary_seq = sequential.metrics_summary()
+        summary_batch = batched.metrics_summary()
+        assert set(summary_seq) == set(summary_batch)
+        exempt = set(self.TRAFFIC_KEYS) if strategy == "rjoin" else set()
+        for key in summary_seq:
+            if key in exempt:
+                continue
+            assert summary_seq[key] == summary_batch[key], key
+
+    @pytest.mark.parametrize("strategy", ["random", "worst", "first"])
+    def test_summaries_identical_for_oracle_and_random_strategies(
+        self, small_catalog, strategy
+    ):
+        sequential = RJoinEngine(
+            RJoinConfig(num_nodes=16, seed=11, strategy=strategy),
+            catalog=small_catalog,
+        )
+        batched = RJoinEngine(
+            RJoinConfig(num_nodes=16, seed=11, strategy=strategy),
+            catalog=small_catalog,
+        )
+        sequential.submit(self.SQL)
+        batched.submit(self.SQL)
+        for relation, values in self.ROWS:
+            sequential.publish(relation, values)
+        batched.publish_batch(self.ROWS)
+        assert sequential.metrics_summary() == batched.metrics_summary()
+
+
 class TestPublishBatch:
     def _rows(self):
         return [
@@ -239,6 +316,66 @@ class TestPublishBatch:
     def test_batch_rejects_unknown_publisher(self, engine):
         with pytest.raises(EngineError):
             engine.publish_batch(self._rows(), publisher="not-a-node")
+
+    def _engine_state(self, engine):
+        return (
+            engine._sequence,
+            dict(engine._oracle_counts),
+            engine.published_tuples,
+            engine.traffic.total_messages,
+            engine.loads.total_storage_load,
+        )
+
+    def test_failed_batch_leaves_engine_state_untouched(self, engine):
+        """Regression: a wrong-arity row mid-batch must not leak state.
+
+        Before the fix, a failed 2-row batch left ``_sequence == 2`` and four
+        phantom ``_oracle_counts`` behind with ``_published == 0``, silently
+        skewing the Worst baseline's rate oracle for every later experiment.
+        """
+        before = self._engine_state(engine)
+        with pytest.raises(SchemaError):
+            engine.publish_batch([("R", (1, 10)), ("S", (1, 2, 3))])
+        assert self._engine_state(engine) == before
+        assert engine._sequence == 0
+        assert engine._oracle_counts == {}
+
+    def test_failed_batch_unknown_relation_leaves_state_untouched(self, engine):
+        before = self._engine_state(engine)
+        with pytest.raises(UnknownRelationError):
+            engine.publish_batch([("R", (1, 10)), ("nope", (1, 2))])
+        assert self._engine_state(engine) == before
+
+    def test_failed_publish_leaves_sequence_untouched(self, engine):
+        with pytest.raises(SchemaError):
+            engine.publish("R", (1, 2, 3))
+        assert engine._sequence == 0
+        assert engine._oracle_counts == {}
+
+    @pytest.mark.parametrize("bad_row", [("R",), ("R", 1, 2, 3), 42, ("R", 5)])
+    def test_batch_malformed_rows_raise_engine_error(self, engine, bad_row):
+        before = self._engine_state(engine)
+        with pytest.raises(EngineError) as excinfo:
+            engine.publish_batch([("R", (1, 10)), bad_row])
+        assert "publish_batch" in str(excinfo.value)
+        assert self._engine_state(engine) == before
+
+    @pytest.mark.parametrize("bad_row", [("R",), ("R", 1, 2, 3), 42, ("R", 5)])
+    def test_publish_many_malformed_rows_raise_engine_error(self, engine, bad_row):
+        before = self._engine_state(engine)
+        with pytest.raises(EngineError) as excinfo:
+            engine.publish_many([("R", (1, 10)), bad_row])
+        assert "publish_many" in str(excinfo.value)
+        # publish_many validates the whole list up front, so even the good
+        # leading row must not have been published.
+        assert self._engine_state(engine) == before
+
+    def test_oracle_rate_unaffected_by_failed_batch(self, engine):
+        engine.publish("R", (1, 10))
+        rate_before = dict(engine._oracle_counts)
+        with pytest.raises(SchemaError):
+            engine.publish_batch([("R", (2, 20)), ("S", (1,))])
+        assert engine._oracle_counts == rate_before
 
     def test_batch_traffic_accounting_matches_message_count(self, small_catalog):
         engine = RJoinEngine(RJoinConfig(num_nodes=16, seed=7), catalog=small_catalog)

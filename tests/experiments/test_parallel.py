@@ -1,0 +1,194 @@
+"""Tests for the parallel grid runner (tiny cells, real processes)."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    AGGREGATE_FILENAME,
+    cell_path,
+    load_aggregate,
+    run_cell,
+    run_grid,
+)
+from repro.experiments.scenarios import Scenario, Variant
+from repro.metrics.serialize import RESULT_SCHEMA_VERSION
+
+TINY_BASE = ExperimentConfig(
+    name="tiny", num_nodes=16, num_queries=10, num_tuples=8, warmup_tuples=0
+)
+
+
+def tiny_scenario(name="tiny-sweep"):
+    return Scenario(
+        name=name,
+        description="grid-runner test scenario",
+        axis="zipf_theta",
+        default_base=TINY_BASE,
+        default_variants=(
+            Variant(label="theta=0.3", overrides={"zipf_theta": 0.3}),
+            Variant(label="theta=0.9", overrides={"zipf_theta": 0.9}),
+        ),
+        seeds=(1, 2),
+    )
+
+
+class TestRunCell:
+    def test_payload_shape(self):
+        cell = tiny_scenario().cells(seeds=[1])[0]
+        payload = run_cell(cell)
+        assert payload["schema_version"] == RESULT_SCHEMA_VERSION
+        assert payload["cell"]["cell_id"] == cell.cell_id
+        assert payload["result"]["summary"]["published_tuples"] == 8
+        assert payload["elapsed_seconds"] > 0
+        json.dumps(payload)  # must be JSON-serializable end to end
+
+
+class TestRunGrid:
+    def test_serial_grid_writes_cell_files_and_aggregate(self, tmp_path):
+        scenario = tiny_scenario()
+        report = run_grid(scenario, tmp_path, workers=1)
+        assert len(report.outcomes) == 4
+        assert report.computed == 4 and report.cached == 0
+        for outcome in report.outcomes:
+            assert outcome.path.is_file()
+            data = json.loads(outcome.path.read_text())
+            assert data["cell"]["scenario"] == scenario.name
+        aggregate = json.loads(
+            (tmp_path / scenario.name / AGGREGATE_FILENAME).read_text()
+        )
+        assert aggregate["cells"] == 4
+        assert len(aggregate["groups"]) == 2  # one per variant
+
+    def test_parallel_matches_serial(self, tmp_path):
+        scenario = tiny_scenario()
+        serial = run_grid(scenario, tmp_path / "serial", workers=1)
+        parallel = run_grid(scenario, tmp_path / "parallel", workers=2)
+        serial_summaries = {
+            outcome.cell.cell_id: outcome.summary for outcome in serial.outcomes
+        }
+        parallel_summaries = {
+            outcome.cell.cell_id: outcome.summary for outcome in parallel.outcomes
+        }
+        assert serial_summaries == parallel_summaries
+
+    def test_aggregate_mean_stddev_across_seeds(self, tmp_path):
+        scenario = tiny_scenario()
+        report = run_grid(scenario, tmp_path, workers=1)
+        group = report.groups()[0]
+        assert group["seeds"] == [1, 2]
+        stats = group["summary"]["total_messages"]
+        per_seed = [
+            outcome.summary["total_messages"]
+            for outcome in report.outcomes
+            if outcome.cell.variant == group["variant"]
+        ]
+        assert stats["count"] == 2
+        assert stats["mean"] == pytest.approx(sum(per_seed) / 2)
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        scenario = tiny_scenario()
+        first = run_grid(scenario, tmp_path, workers=1)
+        assert first.computed == 4
+        second = run_grid(scenario, tmp_path, workers=1)
+        assert second.computed == 0 and second.cached == 4
+
+    def test_resume_after_interruption_recomputes_only_missing(self, tmp_path):
+        scenario = tiny_scenario()
+        run_grid(scenario, tmp_path, workers=1)
+        # Simulate an interrupted sweep: one checkpoint is missing, one is a
+        # truncated partial write.
+        cells = scenario.cells()
+        cell_path(tmp_path / scenario.name, cells[0]).unlink()
+        cell_path(tmp_path / scenario.name, cells[1]).write_text("{\"trunc")
+        resumed = run_grid(scenario, tmp_path, workers=1)
+        assert resumed.computed == 2 and resumed.cached == 2
+
+    def test_stale_schema_version_is_recomputed(self, tmp_path):
+        scenario = tiny_scenario()
+        run_grid(scenario, tmp_path, workers=1)
+        cells = scenario.cells()
+        path = cell_path(tmp_path / scenario.name, cells[0])
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = RESULT_SCHEMA_VERSION - 1
+        path.write_text(json.dumps(payload))
+        resumed = run_grid(scenario, tmp_path, workers=1)
+        assert resumed.computed == 1 and resumed.cached == 3
+
+    def test_changed_config_invalidates_checkpoint(self, tmp_path):
+        """Overrides change the resolved config without changing the cell id;
+        stale checkpoints must be recomputed, not reused."""
+        scenario = tiny_scenario()
+        run_grid(scenario, tmp_path, workers=1)
+        changed = run_grid(
+            scenario, tmp_path, workers=1, overrides={"num_nodes": 24}
+        )
+        assert changed.computed == 4 and changed.cached == 0
+        assert all(
+            outcome.summary["nodes"] == 24.0 for outcome in changed.outcomes
+        )
+        # The original grid's checkpoints were overwritten by the new config,
+        # so re-running the original recomputes again.
+        original = run_grid(scenario, tmp_path, workers=1)
+        assert original.computed == 4
+
+    def test_non_dict_checkpoint_json_is_recomputed(self, tmp_path):
+        scenario = tiny_scenario()
+        run_grid(scenario, tmp_path, workers=1)
+        cells = scenario.cells()
+        cell_path(tmp_path / scenario.name, cells[0]).write_text("[1, 2]")
+        cell_path(tmp_path / scenario.name, cells[1]).write_text(
+            json.dumps({"schema_version": RESULT_SCHEMA_VERSION, "cell": 5})
+        )
+        resumed = run_grid(scenario, tmp_path, workers=1)
+        assert resumed.computed == 2 and resumed.cached == 2
+
+    def test_no_resume_recomputes_everything(self, tmp_path):
+        scenario = tiny_scenario()
+        run_grid(scenario, tmp_path, workers=1)
+        fresh = run_grid(scenario, tmp_path, workers=1, resume=False)
+        assert fresh.computed == 4
+
+    def test_registered_scenario_by_name_with_overrides(self, tmp_path):
+        report = run_grid(
+            "skew-sweep",
+            tmp_path,
+            workers=1,
+            seeds=[3],
+            overrides={
+                "num_nodes": 16,
+                "num_queries": 8,
+                "num_tuples": 6,
+                "warmup_tuples": 0,
+            },
+        )
+        assert report.scenario == "skew-sweep"
+        assert len(report.outcomes) == 5
+        assert all(
+            outcome.summary["published_tuples"] == 6
+            for outcome in report.outcomes
+        )
+
+    def test_progress_callback_sees_every_cell(self, tmp_path):
+        seen = []
+        run_grid(tiny_scenario(), tmp_path, workers=1, progress=seen.append)
+        assert len(seen) == 4
+
+    def test_invalid_workers_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            run_grid(tiny_scenario(), tmp_path, workers=-1)
+
+
+class TestLoadAggregate:
+    def test_round_trip(self, tmp_path):
+        scenario = tiny_scenario()
+        run_grid(scenario, tmp_path, workers=1)
+        aggregate = load_aggregate(tmp_path, scenario.name)
+        assert aggregate["scenario"] == scenario.name
+
+    def test_missing_aggregate_raises(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no aggregate"):
+            load_aggregate(tmp_path, "never-ran")

@@ -92,3 +92,50 @@ class TestTupleGeneration:
         a = WorkloadGenerator(WorkloadSpec(seed=10)).generate_tuples(10)
         b = WorkloadGenerator(WorkloadSpec(seed=10)).generate_tuples(10)
         assert a == b
+
+
+class TestArrivalPatternKnobs:
+    def test_invalid_burst_and_hotkey_specs(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(burst_size=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(hot_key_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(hot_key_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(hot_value_count=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(value_domain=10, hot_value_count=11)
+
+    def test_tuple_batches_groups_the_same_stream(self):
+        flat = WorkloadGenerator(WorkloadSpec(seed=5))
+        batched = WorkloadGenerator(WorkloadSpec(seed=5, burst_size=7))
+        stream = flat.generate_tuples(20)
+        batches = list(batched.tuple_batches(20))
+        assert [len(b) for b in batches] == [7, 7, 6]
+        assert [t for batch in batches for t in batch] == stream
+
+    def test_tuple_batches_explicit_size_overrides_spec(self):
+        generator = WorkloadGenerator(WorkloadSpec(seed=5, burst_size=3))
+        assert [len(b) for b in generator.tuple_batches(10, batch_size=5)] == [5, 5]
+        with pytest.raises(ConfigurationError):
+            list(generator.tuple_batches(4, batch_size=0))
+
+    def test_disabled_hot_keys_leave_stream_unchanged(self):
+        classic = WorkloadGenerator(WorkloadSpec(seed=9))
+        knobbed = WorkloadGenerator(
+            WorkloadSpec(seed=9, hot_key_fraction=0.0, hot_value_count=5, burst_size=4)
+        )
+        assert classic.generate_tuples(50) == knobbed.generate_tuples(50)
+
+    def test_hot_keys_concentrate_values(self):
+        generator = WorkloadGenerator(
+            WorkloadSpec(seed=9, hot_key_fraction=1.0, hot_value_count=2)
+        )
+        for generated in generator.generate_tuples(30):
+            assert all(value in (0, 1) for value in generated.values)
+
+    def test_hot_key_fraction_is_deterministic(self):
+        a = WorkloadGenerator(WorkloadSpec(seed=9, hot_key_fraction=0.5))
+        b = WorkloadGenerator(WorkloadSpec(seed=9, hot_key_fraction=0.5))
+        assert a.generate_tuples(40) == b.generate_tuples(40)
