@@ -18,8 +18,11 @@ the ``bench_smoke`` marker is deselected by default (see ``pytest.ini``).
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import traceback
+from pathlib import Path
 from typing import Callable, Dict, List, Tuple
 
 from repro.experiments import figures
@@ -52,52 +55,89 @@ SMOKE_FIGURES: List[Tuple[Callable, Dict[str, object]]] = [
 ]
 
 
-def run_all(verbose: bool = True) -> List[str]:
-    """Smoke-run every benchmark; returns a list of failure descriptions."""
+def _import_benchmark(name: str):
+    """Import a sibling benchmark module (works from the repo root too)."""
+    try:
+        return __import__(name)
+    except ImportError:
+        module = __import__(f"benchmarks.{name}", fromlist=[name])
+        return module
+
+
+#: Microbenchmark suites: (module name, runner, one-line success summary).
+#: Each runner returns a JSON-safe report dictionary.
+SMOKE_SUITES: List[Tuple[str, Callable[..., Dict[str, object]], Callable[[Dict[str, object]], str]]] = [
+    (
+        "bench_micro_hotpaths",
+        lambda module: module.run_all(smoke=True),
+        lambda report: f"{len(report['results'])} benchmarks",
+    ),
+    (
+        "bench_parallel",
+        lambda module: module.run_bench(smoke=True, workers=2),
+        lambda report: f"{report['cells']} cells",
+    ),
+    (
+        "bench_churn",
+        lambda module: module.run_bench(smoke=True),
+        lambda report: f"{len(report['results'])} event kinds",
+    ),
+]
+
+
+def run_all(verbose: bool = True, reports_dir: "str | None" = None) -> List[str]:
+    """Smoke-run every benchmark; returns a list of failure descriptions.
+
+    ``reports_dir`` optionally receives one ``BENCH_<name>.json`` per
+    microbenchmark suite (the smoke-sized reports) — CI uploads these as
+    workflow artifacts.
+    """
     failures: List[str] = []
 
-    for figure_fn, overrides in SMOKE_FIGURES:
-        name = figure_fn.__name__
+    def _attempt(name: str, run: Callable[[], str]) -> None:
         try:
-            result = figure_fn(**overrides)
+            summary = run()
             if verbose:
-                print(f"{name}: ok ({result.figure})")
+                print(f"{name}: ok ({summary})")
         except Exception:
             failures.append(f"{name} failed:\n{traceback.format_exc()}")
             if verbose:
                 print(f"{name}: FAILED")
 
-    try:
-        import bench_micro_hotpaths
-    except ImportError:
-        from benchmarks import bench_micro_hotpaths  # type: ignore[no-redef]
-    try:
-        report = bench_micro_hotpaths.run_all(smoke=True)
-        if verbose:
-            print(f"bench_micro_hotpaths: ok ({len(report['results'])} benchmarks)")
-    except Exception:
-        failures.append(f"bench_micro_hotpaths failed:\n{traceback.format_exc()}")
-        if verbose:
-            print("bench_micro_hotpaths: FAILED")
+    for figure_fn, overrides in SMOKE_FIGURES:
+        _attempt(
+            figure_fn.__name__,
+            lambda figure_fn=figure_fn, overrides=overrides: figure_fn(
+                **overrides
+            ).figure,
+        )
 
-    try:
-        import bench_parallel
-    except ImportError:
-        from benchmarks import bench_parallel  # type: ignore[no-redef]
-    try:
-        report = bench_parallel.run_bench(smoke=True, workers=2)
-        if verbose:
-            print(f"bench_parallel: ok ({report['cells']} cells)")
-    except Exception:
-        failures.append(f"bench_parallel failed:\n{traceback.format_exc()}")
-        if verbose:
-            print("bench_parallel: FAILED")
+    for module_name, runner, describe in SMOKE_SUITES:
+        def _run(module_name=module_name, runner=runner, describe=describe) -> str:
+            module = _import_benchmark(module_name)
+            report = runner(module)
+            if reports_dir is not None:
+                directory = Path(reports_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                short = module_name.replace("bench_", "", 1)
+                (directory / f"BENCH_{short}.json").write_text(
+                    json.dumps(report, indent=2, sort_keys=True)
+                )
+            return describe(report)
+
+        _attempt(module_name, _run)
 
     return failures
 
 
-def main() -> int:
-    failures = run_all(verbose=True)
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-reports", metavar="DIR", default=None,
+        help="write the smoke-sized BENCH_*.json reports into DIR",
+    )
+    args = parser.parse_args(argv)
+    failures = run_all(verbose=True, reports_dir=args.write_reports)
     if failures:
         print(f"\n{len(failures)} benchmark(s) failed:", file=sys.stderr)
         for failure in failures:

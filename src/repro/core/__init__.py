@@ -13,6 +13,8 @@ The core package implements the recursive join algorithm of Sections 3–7:
   RJoin / Random / Worst / First strategies,
 * :mod:`repro.core.protocol` — the wire messages (newTuple, Eval, RIC, ...),
 * :mod:`repro.core.node` — the per-node protocol handlers (Procedures 1–3),
+* :mod:`repro.core.membership` — ownership deltas and state re-homing for
+  dynamic ring membership (join / graceful leave / crash / id movement),
 * :mod:`repro.core.engine` — the public engine facade,
 * :mod:`repro.core.reference` — the centralised continuous-join oracle used
   to validate soundness, completeness and duplicate-freedom.
@@ -21,6 +23,7 @@ The core package implements the recursive join algorithm of Sections 3–7:
 from repro.core.answers import Answer, QueryHandle
 from repro.core.config import RJoinConfig
 from repro.core.engine import RJoinEngine
+from repro.core.membership import MembershipManager, RehomeReport
 from repro.core.reference import ReferenceEngine
 from repro.core.strategy import (
     FirstCandidateStrategy,
@@ -35,12 +38,14 @@ __all__ = [
     "Answer",
     "FirstCandidateStrategy",
     "IndexingStrategy",
+    "MembershipManager",
     "QueryHandle",
     "RJoinConfig",
     "RJoinEngine",
     "RJoinStrategy",
     "RandomStrategy",
     "ReferenceEngine",
+    "RehomeReport",
     "WorstStrategy",
     "make_strategy",
 ]

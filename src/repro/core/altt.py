@@ -111,6 +111,23 @@ class AttributeLevelTupleTable:
         self._size -= removed
         return removed
 
+    def pop_key(self, key_text: str) -> List[TupleT[Tuple, float]]:
+        """Remove every entry under ``key_text``; returns ``(tuple, received_at)`` pairs.
+
+        Used by membership re-homing: the pairs can be replayed through
+        :meth:`add` on the new owner, preserving each entry's reception time
+        (and therefore its remaining Δ budget).  Stale expiry-heap entries
+        for the removed key pop harmlessly later — expiry re-checks the key.
+        """
+        entries = self._by_key.pop(key_text, [])
+        self._unsorted_keys.discard(key_text)
+        self._size -= len(entries)
+        return [(entry.tuple, entry.received_at) for entry in entries]
+
+    def keys(self) -> List[str]:
+        """The attribute-level keys currently holding entries."""
+        return list(self._by_key.keys())
+
     def clear(self) -> None:
         """Remove every entry."""
         self._by_key.clear()

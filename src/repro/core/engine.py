@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 from repro.core.answers import Answer, QueryHandle
 from repro.core.config import RJoinConfig
 from repro.core.keys import tuple_index_keys
+from repro.core.membership import MembershipManager
 from repro.core.node import NodeContext, RJoinNode
 from repro.core.protocol import AnswerMessage, QueryState
 from repro.core.strategy import IndexingStrategy, make_strategy
@@ -35,12 +36,13 @@ from repro.dht.chord import ChordRing
 from repro.dht.hashing import IdentifierSpace
 from repro.dht.loadbalance import IdMovementBalancer
 from repro.errors import (
+    DuplicateNodeError,
     EngineError,
     QueryRegistrationError,
     SchemaError,
     UnknownRelationError,
 )
-from repro.metrics.collectors import LoadTracker
+from repro.metrics.collectors import ChurnStats, LoadTracker
 from repro.net.simulator import SimulationKernel
 from repro.net.stats import TrafficStats
 from repro.sql.ast import Query, WindowSpec
@@ -106,6 +108,21 @@ class RJoinEngine:
             self.balancer = IdMovementBalancer(
                 self.ring, light_load_factor=self.config.light_load_factor
             )
+
+        # Dynamic membership ---------------------------------------------------
+        self.churn = ChurnStats()
+        self.membership = MembershipManager(
+            ring=self.ring,
+            nodes=self.nodes,
+            loads=self.loads,
+            churn=self.churn,
+            clock=lambda: self.kernel.now,
+        )
+        self._churn_rng = random.Random(self.config.seed + 3)
+        self._next_node_index = len(self.ring)
+        #: Join/leave operations requested while the kernel was mid-drain;
+        #: applied at the next quiescent point (see :meth:`run`).
+        self._pending_membership: List[tuple] = []
 
         # Bookkeeping -------------------------------------------------------
         self._handles: Dict[str, QueryHandle] = {}
@@ -337,10 +354,26 @@ class RJoinEngine:
     # simulation control
     # ------------------------------------------------------------------
     def run(self) -> int:
-        """Deliver every pending message; returns the number of events processed."""
-        return self.kernel.run_until_idle(
+        """Deliver every pending message; returns the number of events processed.
+
+        Ring-mutating operations requested while messages were in flight
+        (graceful joins and leaves — see :meth:`add_node` /
+        :meth:`remove_node`) are applied once the network is quiescent, so
+        ownership never changes under a message that was routed to the old
+        owner.  Crashes are the exception: they take effect immediately
+        (see :meth:`crash_node`).
+        """
+        processed = self.kernel.run_until_idle(
             max_events=self.config.max_events_per_publish
         )
+        while self._pending_membership:
+            ops, self._pending_membership = self._pending_membership, []
+            for op in ops:
+                self._apply_membership_op(op)
+            processed += self.kernel.run_until_idle(
+                max_events=self.config.max_events_per_publish
+            )
+        return processed
 
     def tick(self, delta: float = 1.0) -> None:
         """Advance the simulated clock without publishing anything."""
@@ -441,20 +474,181 @@ class RJoinEngine:
         }
         moves = self.balancer.rebalance(loads)
         if moves:
-            self._rehome_state()
+            self.membership.rehome_misplaced(kind="move", subject="id-movement")
         return len(moves)
 
-    def _rehome_state(self) -> None:
-        """After id movement, move stored items to their new owners."""
+    # ------------------------------------------------------------------
+    # dynamic membership: join / graceful leave / crash
+    # ------------------------------------------------------------------
+    def add_node(
+        self, address: Optional[str] = None, node_id: Optional[int] = None
+    ) -> str:
+        """A new node joins the live ring; returns its address.
 
-        def owner_of(key_text: str) -> str:
-            return self.ring.owner_of_key(key_text).address
+        The joining node takes over part of its successor's key range, and
+        the state stored under those keys is re-homed onto it (counted in
+        :attr:`churn`).  By default the node gets a fresh ``node-{index}``
+        address and a uniformly random identifier, matching how the founding
+        ring was placed.  When called while messages are in flight (e.g.
+        from a kernel-scheduled churn event) the join is deferred to the
+        next quiescent point so in-flight messages still reach the owner
+        they were routed to.
+        """
+        if address is None:
+            address = self._generate_address()
+        elif self.ring.has_address(address):
+            raise DuplicateNodeError(
+                f"a node with address {address!r} already participates in the ring"
+            )
+        if self.kernel.is_running:
+            self._pending_membership.append(("join", address, node_id))
+            return address
+        self.run()
+        self._join_now(address, node_id)
+        return address
 
-        pending = []
-        for node in self.nodes.values():
-            pending.extend(node.extract_misplaced(owner_of))
-        for item in pending:
-            self.nodes[owner_of(item.key_text)].accept_rehomed(item)
+    def remove_node(
+        self, address: Optional[str] = None, graceful: bool = True
+    ) -> str:
+        """A node leaves the ring; returns the departed address.
+
+        ``graceful=True`` models a cooperative departure: pending messages
+        are drained first and the node hands its entire state (stored
+        tuples, ALTT entries, input and rewritten queries) to the nodes now
+        owning the keys, so no state is lost.  ``graceful=False`` is a
+        crash (see :meth:`crash_node`).  Without an explicit ``address`` a
+        random live node departs.
+        """
+        if not graceful:
+            return self.crash_node(address)
+        address = self._resolve_victim(address, operation="remove")
+        if self.kernel.is_running:
+            self._pending_membership.append(("leave", address))
+            return address
+        self.run()
+        self._leave_now(address)
+        return address
+
+    def crash_node(self, address: Optional[str] = None) -> str:
+        """A node fails abruptly; returns the crashed address.
+
+        The node's entire state is destroyed (accounted as lost in
+        :attr:`churn` and as dropped state in :attr:`loads`), and every
+        message still in flight towards the dead address is destroyed by
+        the network.  Unlike joins and leaves a crash takes effect
+        immediately, even mid-drain — that is the point of modelling it.
+        """
+        address = self._resolve_victim(address, operation="crash")
+        node = self.nodes.pop(address)
+        self.ring.remove_node(address)
+        self.api.unregister_handler(address)
+        self.api.drop_in_flight(address)
+        self.membership.discard(node)
+        return address
+
+    def schedule_membership_op(
+        self,
+        kind: str,
+        delay: float = 0.0,
+        address: Optional[str] = None,
+        graceful: bool = True,
+        min_nodes: int = 2,
+        max_nodes: Optional[int] = None,
+    ):
+        """Schedule a membership change on the simulation kernel.
+
+        The operation fires ``delay`` simulated time units from now — in the
+        middle of whatever traffic is then in flight, which is exactly how
+        real churn arrives.  ``min_nodes`` / ``max_nodes`` turn the fired
+        event into a no-op when the ring has shrunk or grown past the bound
+        by the time it triggers.  Returns the kernel's event handle.
+        """
+        if kind not in ("join", "leave", "crash"):
+            raise EngineError(
+                f"unknown membership operation {kind!r}; "
+                f"expected 'join', 'leave' or 'crash'"
+            )
+        return self.kernel.schedule_in(
+            delay, self._fire_membership_op, kind, address, graceful,
+            min_nodes, max_nodes,
+        )
+
+    def _fire_membership_op(
+        self,
+        kind: str,
+        address: Optional[str],
+        graceful: bool,
+        min_nodes: int,
+        max_nodes: Optional[int],
+    ) -> None:
+        """Kernel callback: apply (or queue) one scheduled membership change."""
+        if kind == "join":
+            # Joins queued earlier in this drain have not grown the ring yet;
+            # count them so a burst of events cannot overshoot ``max_nodes``.
+            pending_joins = sum(
+                1 for op in self._pending_membership if op[0] == "join"
+            )
+            if max_nodes is not None and len(self.ring) + pending_joins >= max_nodes:
+                return
+            self.add_node(address)
+            return
+        # Leaves queued earlier in this drain have not shrunk the ring yet;
+        # count them so a burst of events cannot undershoot ``min_nodes``.
+        pending_leaves = sum(1 for op in self._pending_membership if op[0] == "leave")
+        if len(self.ring) - pending_leaves <= max(min_nodes, 1):
+            return
+        if address is not None and not self.ring.has_address(address):
+            return
+        if kind == "crash" or not graceful:
+            self.crash_node(address)
+        else:
+            self.remove_node(address, graceful=True)
+
+    def _apply_membership_op(self, op: tuple) -> None:
+        """Apply one deferred join/leave at a quiescent point."""
+        kind = op[0]
+        if kind == "join":
+            _, address, node_id = op
+            if not self.ring.has_address(address):
+                self._join_now(address, node_id)
+        elif kind == "leave":
+            _, address = op
+            if self.ring.has_address(address) and len(self.ring) > 1:
+                self._leave_now(address)
+
+    def _join_now(self, address: str, node_id: Optional[int]) -> None:
+        if node_id is None:
+            node_id = self.ring.random_free_identifier(self._churn_rng)
+        chord_node = self.ring.add_node(address, node_id)
+        rjoin_node = RJoinNode(address, self._context)
+        self.nodes[address] = rjoin_node
+        self.api.register_handler(address, rjoin_node.handle_envelope)
+        # Only the new node's successor can hold keys the newcomer now owns.
+        successor = self.ring.successor_of(chord_node)
+        displaced = [] if successor.address == address else [successor.address]
+        self.membership.rehome_misplaced(displaced, kind="join", subject=address)
+
+    def _leave_now(self, address: str) -> None:
+        node = self.nodes.pop(address)
+        self.ring.remove_node(address)
+        self.api.unregister_handler(address)
+        self.membership.handoff(node)
+
+    def _resolve_victim(self, address: Optional[str], operation: str) -> str:
+        if len(self.ring) <= 1:
+            raise EngineError(f"cannot {operation} the only node of the ring")
+        if address is None:
+            return self._churn_rng.choice(self.ring.addresses)
+        if address not in self.nodes:
+            raise EngineError(f"cannot {operation} unknown node {address!r}")
+        return address
+
+    def _generate_address(self) -> str:
+        while True:
+            address = f"node-{self._next_node_index}"
+            self._next_node_index += 1
+            if address not in self.nodes and not self.ring.has_address(address):
+                return address
 
     # ------------------------------------------------------------------
     # metrics
@@ -495,6 +689,16 @@ class RJoinEngine:
             "current_storage": float(self.loads.total_current_storage),
             "answers": float(self.total_answers),
             "participating_nodes": float(self.loads.participating_nodes()),
+            # Dynamic membership (node churn) ------------------------------
+            "membership_events": float(self.churn.total_events),
+            "joins": float(self.churn.joins),
+            "leaves": float(self.churn.leaves),
+            "crashes": float(self.churn.crashes),
+            "records_rehomed": float(self.churn.records_rehomed),
+            "bytes_rehomed": float(self.churn.bytes_rehomed),
+            "records_lost": float(self.churn.records_lost),
+            "bytes_lost": float(self.churn.bytes_lost),
+            "dropped_messages": float(self.api.dropped_messages),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

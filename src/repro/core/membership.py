@@ -1,0 +1,213 @@
+"""Unified state re-homing for dynamic ring membership.
+
+The engine used to support exactly one topology mutation — id movement
+(Figure 9) — through an ad-hoc ``_rehome_state`` helper.  This module
+generalises that machinery into a :class:`MembershipManager` that computes
+ownership deltas for *any* ring mutation (join, graceful leave, crash, id
+movement) and re-homes every kind of node-local state:
+
+* stored value-level tuples (:class:`~repro.data.store.TupleStore`),
+* attribute-level tuple-table entries
+  (:class:`~repro.core.altt.AttributeLevelTupleTable`),
+* stored input and rewritten queries
+  (:class:`~repro.core.node.QueryTable`).
+
+Re-homing is an out-of-band state transfer (it does not generate simulated
+network messages — the same modelling choice the id-movement path always
+made), but its cost is measured: every membership event records how many
+items and how many estimated payload bytes moved (or, for crashes, were
+lost) into :class:`~repro.metrics.collectors.ChurnStats`, which is what the
+``node-churn`` scenario and ``benchmarks/bench_churn.py`` report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.dht.chord import ChordRing
+from repro.errors import EngineError
+from repro.metrics.collectors import ChurnStats, LoadTracker, MembershipEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.node import RehomedItem, RJoinNode
+
+
+@dataclass(frozen=True)
+class RehomeReport:
+    """What one re-homing pass moved (or destroyed)."""
+
+    records_moved: int = 0
+    bytes_moved: int = 0
+    records_lost: int = 0
+    bytes_lost: int = 0
+    #: items moved per state kind ("input" | "rewritten" | "tuple" | "altt")
+    moved_by_kind: Optional[Dict[str, int]] = None
+
+    @property
+    def records_touched(self) -> int:
+        """Moved plus lost records."""
+        return self.records_moved + self.records_lost
+
+
+def estimate_item_bytes(item: "RehomedItem") -> int:
+    """A deterministic, cheap estimate of one re-homed item's payload size.
+
+    The simulation never serialises state, so the estimate is the length of
+    the item's key plus the ``repr`` of the values it carries — stable across
+    runs and good enough to compare re-homing cost between churn schedules.
+    """
+    size = len(item.key_text)
+    payload = item.payload
+    kind = item.kind
+    if kind == "tuple":
+        size += len(repr(payload.tuple.values))
+    elif kind == "altt":
+        tup, _received_at = payload
+        size += len(repr(tup.values))
+    elif kind in ("input", "rewritten"):
+        size += len(repr(payload.state.query))
+    else:
+        size += len(repr(payload))
+    return size
+
+
+class MembershipManager:
+    """Computes ownership deltas and re-homes state after ring mutations.
+
+    The manager owns no topology decisions — callers mutate the
+    :class:`~repro.dht.chord.ChordRing` first (add/remove/move a node) and
+    then ask the manager to make the application state consistent with the
+    new ownership map.  Three entry points cover every mutation:
+
+    * :meth:`rehome_misplaced` — after id movement or a join: scan the given
+      nodes (or all of them) and move items whose key changed owner,
+    * :meth:`handoff` — after a graceful leave: the departed node's entire
+      state is handed to the current owners,
+    * :meth:`discard` — after a crash: the dead node's state is destroyed
+      and accounted as lost.
+    """
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        nodes: Dict[str, "RJoinNode"],
+        loads: LoadTracker,
+        churn: ChurnStats,
+        clock: Callable[[], float],
+    ):
+        self.ring = ring
+        self.nodes = nodes
+        self.loads = loads
+        self.churn = churn
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # ownership
+    # ------------------------------------------------------------------
+    def owner_of(self, key_text: str) -> str:
+        """Address of the node currently responsible for ``key_text``."""
+        return self.ring.owner_of_key(key_text).address
+
+    # ------------------------------------------------------------------
+    # re-homing passes
+    # ------------------------------------------------------------------
+    def rehome_misplaced(
+        self,
+        addresses: Optional[Sequence[str]] = None,
+        kind: str = "move",
+        subject: str = "",
+    ) -> RehomeReport:
+        """Move misplaced items from ``addresses`` (default: every node).
+
+        A join only displaces state on the new node's successor, so the
+        caller can restrict the scan; id movement touches arbitrary arcs and
+        scans everything.  Records one :class:`MembershipEvent` when any
+        state moved (or unconditionally for joins/leaves, which are events
+        even when they move nothing).
+        """
+        if addresses is None:
+            scan: Iterable["RJoinNode"] = list(self.nodes.values())
+        else:
+            scan = [self.nodes[address] for address in addresses]
+        pending: List["RehomedItem"] = []
+        for node in scan:
+            pending.extend(node.extract_misplaced(self.owner_of))
+        report = self._deliver(pending)
+        always_record = kind != "move"
+        if always_record or report.records_moved:
+            self._record(kind, subject, report)
+        return report
+
+    def handoff(self, departed: "RJoinNode", subject: Optional[str] = None) -> RehomeReport:
+        """Hand every item of a departed node to the current owners.
+
+        ``departed`` must already be out of the ring and the engine's node
+        table; its keys now resolve to the surviving owners.
+        """
+        if self.ring.has_address(departed.address):
+            raise EngineError(
+                f"cannot hand off state of {departed.address!r}: the node is "
+                f"still part of the ring"
+            )
+        report = self._deliver(departed.extract_all())
+        self._record("leave", subject or departed.address, report)
+        return report
+
+    def discard(self, crashed: "RJoinNode", subject: Optional[str] = None) -> RehomeReport:
+        """Destroy a crashed node's state and account it as lost.
+
+        The load tracker is told about the destroyed rewritten queries and
+        tuples so the network-wide *current storage* aggregate keeps matching
+        the live state of the surviving nodes.
+        """
+        items = crashed.extract_all()
+        records_lost = len(items)
+        bytes_lost = sum(estimate_item_bytes(item) for item in items)
+        queries_lost = sum(1 for item in items if item.kind == "rewritten")
+        tuples_lost = sum(1 for item in items if item.kind == "tuple")
+        if queries_lost:
+            self.loads.record_query_dropped(crashed.address, queries_lost)
+        if tuples_lost:
+            self.loads.record_tuple_dropped(crashed.address, tuples_lost)
+        report = RehomeReport(records_lost=records_lost, bytes_lost=bytes_lost)
+        self._record("crash", subject or crashed.address, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _deliver(self, pending: List["RehomedItem"]) -> RehomeReport:
+        """Hand every extracted item to the node owning its key."""
+        moved_by_kind: Dict[str, int] = {}
+        bytes_moved = 0
+        for item in pending:
+            owner = self.owner_of(item.key_text)
+            try:
+                target = self.nodes[owner]
+            except KeyError:
+                raise EngineError(
+                    f"re-homing target {owner!r} for key {item.key_text!r} "
+                    f"has no application-layer node registered"
+                ) from None
+            target.accept_rehomed(item)
+            moved_by_kind[item.kind] = moved_by_kind.get(item.kind, 0) + 1
+            bytes_moved += estimate_item_bytes(item)
+        return RehomeReport(
+            records_moved=len(pending),
+            bytes_moved=bytes_moved,
+            moved_by_kind=moved_by_kind,
+        )
+
+    def _record(self, kind: str, subject: str, report: RehomeReport) -> None:
+        self.churn.record(
+            MembershipEvent(
+                kind=kind,
+                address=subject,
+                at=self._clock(),
+                records_rehomed=report.records_moved,
+                bytes_rehomed=report.bytes_moved,
+                records_lost=report.records_lost,
+                bytes_lost=report.bytes_lost,
+            )
+        )

@@ -53,6 +53,7 @@ from repro.data.store import StoredTuple, TupleStore
 from repro.data.tuples import Tuple
 from repro.dht.api import DHTMessagingService
 from repro.dht.hashing import IdentifierSpace
+from repro.errors import EngineError
 from repro.metrics.collectors import LoadTracker
 from repro.net.messages import Envelope
 from repro.sql.ast import WindowSpec
@@ -665,35 +666,54 @@ class RJoinNode:
         return queries_dropped, tuples_dropped
 
     # ------------------------------------------------------------------
-    # id movement support (Figure 9)
+    # membership support (id movement, node join/leave — Figure 9 and churn)
     # ------------------------------------------------------------------
     def extract_misplaced(
         self, owner_of: Callable[[str], str]
     ) -> List[RehomedItem]:
-        """Remove and return stored items whose key is now owned by another node."""
+        """Remove and return stored items whose key is now owned by another node.
+
+        Covers all three node-local state kinds: stored queries (input and
+        rewritten), value-level tuples and ALTT entries.
+        """
+        return self._extract(lambda key_text: owner_of(key_text) != self.address)
+
+    def extract_all(self) -> List[RehomedItem]:
+        """Remove and return *every* stored item (graceful departure hand-off)."""
+        return self._extract(lambda key_text: True)
+
+    def _extract(self, should_move: Callable[[str], bool]) -> List[RehomedItem]:
         items: List[RehomedItem] = []
 
-        def _extract(table: QueryTable, kind: str) -> None:
+        def _extract_table(table: QueryTable, kind: str) -> None:
             for key_text in list(table.keys()):
-                if owner_of(key_text) == self.address:
+                if not should_move(key_text):
                     continue
                 for record in table.pop_key(key_text):
                     items.append(RehomedItem(kind=kind, key_text=key_text, payload=record))
 
-        _extract(self.input_queries, "input")
-        _extract(self.rewritten_queries, "rewritten")
+        _extract_table(self.input_queries, "input")
+        _extract_table(self.rewritten_queries, "rewritten")
 
         for key_text in list(self.tuple_store.keys()):
-            if owner_of(key_text) == self.address:
+            if not should_move(key_text):
                 continue
             for record in self.tuple_store.remove_key(key_text):
                 items.append(
                     RehomedItem(kind="tuple", key_text=key_text, payload=record)
                 )
+
+        for key_text in self.altt.keys():
+            if not should_move(key_text):
+                continue
+            for entry in self.altt.pop_key(key_text):
+                items.append(
+                    RehomedItem(kind="altt", key_text=key_text, payload=entry)
+                )
         return items
 
     def accept_rehomed(self, item: RehomedItem) -> None:
-        """Adopt an item handed over by another node after id movement."""
+        """Adopt an item handed over by another node after a membership change."""
         if item.kind == "input":
             self.input_queries.add(item.key_text, item.payload)
         elif item.kind == "rewritten":
@@ -702,8 +722,15 @@ class RJoinNode:
             record = item.payload
             assert isinstance(record, StoredTuple)
             self.tuple_store.add(item.key_text, record.tuple, record.stored_at)
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown rehomed item kind {item.kind!r}")
+        elif item.kind == "altt":
+            tup, received_at = item.payload
+            self.altt.add(item.key_text, tup, received_at)
+        else:
+            raise EngineError(
+                f"cannot re-home item of unknown kind {item.kind!r} for key "
+                f"{item.key_text!r}; expected one of 'input', 'rewritten', "
+                f"'tuple' or 'altt'"
+            )
 
     # ------------------------------------------------------------------
     # introspection

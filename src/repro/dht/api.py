@@ -80,9 +80,31 @@ class DHTMessagingService:
         """Remove the handler of a departed node (its messages are dropped)."""
         self._handlers.pop(address, None)
 
+    def drop_in_flight(self, address: str) -> int:
+        """Destroy every undelivered message addressed to ``address``.
+
+        Models an abrupt crash: deliveries already scheduled on the kernel
+        for the dead address are cancelled (the network loses them) and
+        counted as dropped.  Returns the number of messages destroyed.
+        """
+        # Bound-method comparison must use ``==``: every attribute access
+        # creates a fresh bound-method object, so ``is`` would never match.
+        dropped = self.kernel.cancel_where(
+            lambda callback, args: callback == self._deliver
+            and bool(args)
+            and args[0].destination == address
+        )
+        self._dropped += dropped
+        return dropped
+
     @property
     def dropped_messages(self) -> int:
-        """Messages whose destination had no registered handler on delivery."""
+        """Messages the network lost instead of delivering.
+
+        Counts both deliveries whose destination had no registered handler
+        (the address departed after the message was sent) and in-flight
+        messages destroyed by a crash (:meth:`drop_in_flight`).
+        """
         return self._dropped
 
     # ------------------------------------------------------------------
@@ -164,8 +186,16 @@ class DHTMessagingService:
         if destination == sender:
             # Local delivery: no network transmission.
             path = [sender_node]
-        else:
+        elif self.ring.has_address(destination):
             path = [sender_node, self.ring.node_by_address(destination)]
+        else:
+            # The destination left the ring (or crashed) after handing out
+            # its address.  The sender cannot know that: the transmission is
+            # still paid for, and the message is dropped on (non-)delivery
+            # because no handler is registered for the address any more.
+            # Only the address matters for delivery, so a placeholder node
+            # stands in for the departed destination on the path.
+            path = [sender_node, ChordNode(0, destination)]
         return self._transmit(
             sender_node,
             path,

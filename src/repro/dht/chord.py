@@ -85,13 +85,24 @@ class ChordRing:
             address = address_format.format(index=index)
             if hashed_placement:
                 node_id = ring.space.hash_key(address)
+                # Extremely unlikely collisions: re-draw deterministically.
+                while node_id in ring._ring:
+                    node_id = ring.space.normalize(node_id + 1)
             else:
-                node_id = ring.space.random_identifier(rng)
-            # Extremely unlikely collisions: re-draw deterministically.
-            while node_id in ring._ring:
-                node_id = ring.space.normalize(node_id + 1)
+                node_id = ring.random_free_identifier(rng)
             ring.add_node(address, node_id)
         return ring
+
+    def random_free_identifier(self, rng: random.Random) -> int:
+        """Draw a uniform identifier not currently occupied by any node.
+
+        This is the placement rule of :meth:`create_network`, exposed so that
+        nodes joining a live ring land the same way the founding nodes did.
+        """
+        node_id = self.space.random_identifier(rng)
+        while node_id in self._ring:
+            node_id = self.space.normalize(node_id + 1)
+        return node_id
 
     def add_node(self, address: str, node_id: Optional[int] = None) -> ChordNode:
         """A node joins the ring (its identifier is hashed from the address by default)."""

@@ -19,7 +19,7 @@
   paper plots.
 """
 
-from repro.experiments.config import ExperimentConfig, is_full_scale
+from repro.experiments.config import ChurnSpec, ExperimentConfig, is_full_scale
 from repro.experiments.figures import (
     FigureResult,
     figure2,
@@ -31,7 +31,14 @@ from repro.experiments.figures import (
     figure8,
     figure9,
 )
-from repro.experiments.parallel import CellOutcome, GridReport, run_cell, run_grid
+from repro.experiments.parallel import (
+    CellOutcome,
+    GridReport,
+    diff_grids,
+    load_cells,
+    run_cell,
+    run_grid,
+)
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.scenarios import (
     SCENARIOS,
@@ -45,6 +52,7 @@ from repro.experiments.scenarios import (
 
 __all__ = [
     "CellOutcome",
+    "ChurnSpec",
     "ExperimentConfig",
     "ExperimentResult",
     "FigureResult",
@@ -61,8 +69,10 @@ __all__ = [
     "figure7",
     "figure8",
     "figure9",
+    "diff_grids",
     "get_scenario",
     "is_full_scale",
+    "load_cells",
     "register",
     "run_cell",
     "run_experiment",

@@ -5,11 +5,14 @@
     python -m repro.experiments list
     python -m repro.experiments run --scenario skew-sweep --workers 4
     python -m repro.experiments report --scenario skew-sweep
+    python -m repro.experiments report --diff results-main/skew-sweep results-pr/skew-sweep
 
 ``run`` executes a scenario's variant × strategy × seed grid (in parallel
 when ``--workers > 1``), streaming one JSON checkpoint per cell under the
 output directory so that re-running resumes instead of recomputing.
-``report`` renders the aggregated mean/stddev statistics of a finished grid.
+``report`` renders the aggregated mean/stddev statistics of a finished grid;
+``report --diff A B`` compares two grid result directories cell-by-cell
+(regression diffs between branches, scales or machines).
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ExperimentError, ReproError
-from repro.experiments.parallel import load_aggregate, run_grid
+from repro.experiments.parallel import diff_grids, load_aggregate, run_grid
 from repro.experiments.scenarios import SCENARIOS, get_scenario
 from repro.metrics.report import format_table
 
@@ -68,7 +71,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     run_cmd = sub.add_parser("run", help="run one scenario's grid")
-    run_cmd.add_argument("--scenario", required=True, help="registered scenario name")
+    run_cmd.add_argument(
+        "scenario_pos", nargs="?", metavar="SCENARIO", default=None,
+        help="registered scenario name (positional form of --scenario)",
+    )
+    run_cmd.add_argument("--scenario", default=None, help="registered scenario name")
     run_cmd.add_argument(
         "--workers", type=int, default=1,
         help="worker processes (<=1 runs serially; default 1)",
@@ -99,9 +106,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override a base-config field (repeatable), e.g. --set num_nodes=40",
     )
 
-    report_cmd = sub.add_parser("report", help="print a finished grid's aggregates")
-    report_cmd.add_argument("--scenario", required=True)
+    report_cmd = sub.add_parser(
+        "report",
+        help="print a finished grid's aggregates, or diff two result dirs",
+    )
+    report_cmd.add_argument("--scenario", default=None)
     report_cmd.add_argument("--output", default=DEFAULT_OUTPUT_DIR)
+    report_cmd.add_argument(
+        "--diff", nargs=2, metavar=("DIR_A", "DIR_B"), default=None,
+        help="compare two grid result directories cell-by-cell "
+        "(e.g. results-main/skew-sweep results-pr/skew-sweep)",
+    )
     report_cmd.add_argument(
         "--metrics", default=None,
         help="comma-separated metric names (default: "
@@ -142,12 +157,18 @@ def _cmd_list(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_run(args: argparse.Namespace, out) -> int:
+    scenario_name = args.scenario or args.scenario_pos
+    if scenario_name is None:
+        raise ExperimentError(
+            "run needs a scenario name (positional or --scenario); "
+            "see `python -m repro.experiments list`"
+        )
     seeds = (
         [int(seed) for seed in args.seeds.split(",")] if args.seeds else None
     )
     strategies = args.strategies.split(",") if args.strategies else None
     overrides = _parse_set_options(args.set_options)
-    scenario = get_scenario(args.scenario)
+    scenario = get_scenario(scenario_name)
 
     def _progress(outcome) -> None:
         state = "cached" if outcome.cached else "done"
@@ -174,7 +195,50 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _format_value(value) -> str:
+    return "-" if value is None else f"{value:.2f}"
+
+
+def _cmd_report_diff(args: argparse.Namespace, out) -> int:
+    metrics = (
+        args.metrics.split(",") if args.metrics else list(DEFAULT_REPORT_METRICS)
+    )
+    dir_a, dir_b = args.diff
+    diff = diff_grids(dir_a, dir_b, metrics)
+    columns = ["cell"]
+    for metric in metrics:
+        columns.extend([f"{metric} A", f"{metric} B", "Δ"])
+    rows: List[List[object]] = []
+    for entry in diff["cells"]:
+        row: List[object] = [entry["cell_id"]]
+        for metric in metrics:
+            pair = entry["metrics"][metric]
+            row.extend(
+                [
+                    _format_value(pair["a"]),
+                    _format_value(pair["b"]),
+                    _format_value(pair["delta"]),
+                ]
+            )
+        rows.append(row)
+    title = f"diff: {dir_a} vs {dir_b} ({len(rows)} shared cells)"
+    print(format_table(title, columns, rows), file=out)
+    for label, missing in (("A", diff["only_in_b"]), ("B", diff["only_in_a"])):
+        if missing:
+            print(f"\ncells missing from {label}:", file=out)
+            for cell_id in missing:
+                print(f"  - {cell_id}", file=out)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace, out) -> int:
+    if args.diff is not None:
+        return _cmd_report_diff(args, out)
+    if args.scenario is None:
+        raise ExperimentError(
+            "report needs either --scenario (aggregate view) or "
+            "--diff DIR_A DIR_B (cell-by-cell comparison)"
+        )
     aggregate = load_aggregate(args.output, args.scenario)
     metrics = (
         args.metrics.split(",") if args.metrics else list(DEFAULT_REPORT_METRICS)

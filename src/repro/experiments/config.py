@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.errors import ExperimentError
 from repro.sql.ast import WindowSpec
@@ -27,6 +27,71 @@ def is_full_scale() -> bool:
     return os.environ.get(FULL_SCALE_ENV, "").strip() not in ("", "0", "false", "no")
 
 
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Membership-churn schedule of one experiment.
+
+    Rates are expressed per published (measured) tuple: ``join_every=20``
+    triggers one node join after tuples 20, 40, 60, … of the tuple phase.
+    The runner translates the schedule into kernel-scheduled membership
+    events that fire ``op_delay`` simulated time units after the triggering
+    publication — i.e. while the *next* publication's messages are in
+    flight, which is what makes crashes actually destroy in-flight traffic.
+
+    ``graceful`` controls whether scheduled leaves hand their state off
+    (cooperative departure) or behave like crashes.  ``min_nodes`` /
+    ``max_nodes`` bound the ring size: events that would cross a bound turn
+    into no-ops.
+    """
+
+    join_every: int = 0
+    leave_every: int = 0
+    crash_every: int = 0
+    start_after: int = 0
+    op_delay: float = 0.5
+    graceful: bool = True
+    min_nodes: int = 2
+    max_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("join_every", "leave_every", "crash_every", "start_after"):
+            if getattr(self, name) < 0:
+                raise ExperimentError(f"{name} must be non-negative")
+        if self.op_delay < 0:
+            raise ExperimentError("op_delay must be non-negative")
+        if self.min_nodes < 1:
+            raise ExperimentError("min_nodes must be at least one")
+        if self.max_nodes is not None and self.max_nodes < self.min_nodes:
+            raise ExperimentError("max_nodes must be >= min_nodes")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this schedule produces any events at all."""
+        return bool(self.join_every or self.leave_every or self.crash_every)
+
+    def events_for(self, num_tuples: int) -> List[Tuple[int, str]]:
+        """The deterministic ``(tuple index, op kind)`` schedule of a run.
+
+        Event kinds due at the same index fire in ``join``, ``leave``,
+        ``crash`` order so the schedule is reproducible.
+        """
+        events: List[Tuple[int, str]] = []
+        for kind, every in (
+            ("join", self.join_every),
+            ("leave", self.leave_every),
+            ("crash", self.crash_every),
+        ):
+            if not every:
+                continue
+            index = max(self.start_after, 0) + every
+            while index <= num_tuples:
+                events.append((index, kind))
+                index += every
+        order = {"join": 0, "leave": 1, "crash": 2}
+        events.sort(key=lambda event: (event[0], order[event[1]]))
+        return events
+
+
 @dataclass
 class ExperimentConfig:
     """Parameters of one experiment run."""
@@ -36,6 +101,13 @@ class ExperimentConfig:
     num_nodes: int = 100
     strategy: str = "rjoin"
     id_movement: bool = False
+    #: Simulated time one routing hop takes and the extra per-message random
+    #: delay in ``[0, delay_jitter]`` — the knobs of the ``latency`` scenario,
+    #: separating algorithmic load from network asynchrony.
+    hop_delay: float = 1.0
+    delay_jitter: float = 0.0
+    #: Membership churn schedule (None: the ring is static for the whole run).
+    churn: Optional[ChurnSpec] = None
     # Workload ---------------------------------------------------------------
     num_queries: int = 500
     num_tuples: int = 100
@@ -88,6 +160,10 @@ class ExperimentConfig:
             raise ExperimentError("batch_size must be at least one tuple")
         if not 0.0 <= self.hot_key_fraction <= 1.0:
             raise ExperimentError("hot_key_fraction must lie in [0, 1]")
+        if self.hop_delay < 0 or self.delay_jitter < 0:
+            raise ExperimentError("hop_delay and delay_jitter must be non-negative")
+        if self.churn is not None and not isinstance(self.churn, ChurnSpec):
+            raise ExperimentError("churn must be a ChurnSpec (or None)")
         for checkpoint in self.checkpoints:
             if checkpoint <= 0 or checkpoint > self.num_tuples:
                 raise ExperimentError(

@@ -284,6 +284,87 @@ def run_grid(
     return report
 
 
+def load_cells(result_dir: "Path | str") -> Dict[str, Dict[str, object]]:
+    """Read every per-cell checkpoint of a grid result directory.
+
+    Returns ``cell_id -> payload`` for every parseable ``<cell_id>.json``
+    (the ``aggregate.json`` summary and unreadable files are skipped).
+    """
+    directory = Path(result_dir)
+    if not directory.is_dir():
+        raise ExperimentError(f"no grid result directory at {directory}")
+    cells: Dict[str, Dict[str, object]] = {}
+    for path in sorted(directory.glob("*.json")):
+        if path.name == AGGREGATE_FILENAME:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        descriptor = payload.get("cell")
+        if not isinstance(descriptor, dict):
+            continue
+        cell_id = descriptor.get("cell_id")
+        if isinstance(cell_id, str) and cell_id:
+            cells[cell_id] = payload
+    return cells
+
+
+def _cell_metric(payload: Mapping[str, object], name: str) -> Optional[float]:
+    """Look ``name`` up among a cell's derived metrics, then its summary."""
+    result = payload.get("result")
+    if not isinstance(result, dict):
+        return None
+    for section in ("derived", "summary"):
+        values = result.get(section)
+        if isinstance(values, dict) and name in values:
+            try:
+                return float(values[name])
+            except (TypeError, ValueError):
+                return None
+    return None
+
+
+def diff_grids(
+    dir_a: "Path | str",
+    dir_b: "Path | str",
+    metrics: Sequence[str],
+) -> Dict[str, object]:
+    """Compare two grid result directories cell-by-cell.
+
+    For every cell id present in both directories the requested metrics are
+    paired up (value in A, value in B, absolute delta); cells present in
+    only one directory are listed separately so a regression diff cannot
+    silently drop coverage.
+    """
+    cells_a = load_cells(dir_a)
+    cells_b = load_cells(dir_b)
+    shared = sorted(set(cells_a) & set(cells_b))
+    compared: List[Dict[str, object]] = []
+    for cell_id in shared:
+        entry: Dict[str, object] = {"cell_id": cell_id, "metrics": {}}
+        for metric in metrics:
+            value_a = _cell_metric(cells_a[cell_id], metric)
+            value_b = _cell_metric(cells_b[cell_id], metric)
+            delta = (
+                value_b - value_a
+                if value_a is not None and value_b is not None
+                else None
+            )
+            entry["metrics"][metric] = {"a": value_a, "b": value_b, "delta": delta}
+        compared.append(entry)
+    return {
+        "dir_a": str(dir_a),
+        "dir_b": str(dir_b),
+        "metrics": list(metrics),
+        "cells": compared,
+        "only_in_a": sorted(set(cells_a) - set(cells_b)),
+        "only_in_b": sorted(set(cells_b) - set(cells_a)),
+    }
+
+
 def load_aggregate(output_dir: "Path | str", scenario_name: str) -> Dict[str, object]:
     """Read a previously written ``aggregate.json`` for ``scenario_name``."""
     path = Path(output_dir) / scenario_name / AGGREGATE_FILENAME

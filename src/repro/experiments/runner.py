@@ -138,6 +138,8 @@ def build_engine(config: ExperimentConfig) -> RJoinEngine:
         strategy=config.strategy,
         seed=config.seed,
         id_movement=config.id_movement,
+        hop_delay=config.hop_delay,
+        delay_jitter=config.delay_jitter,
         tuple_gc_window=config.window,
         # The experiments explore the full candidate space of Section 6
         # (families (a), (b) and (c)); this is what separates the Worst and
@@ -196,6 +198,33 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     cumulative_storage: List[int] = []
     checkpoint_set = set(config.checkpoints)
 
+    # Membership churn: the ChurnSpec's tuple-indexed schedule becomes
+    # kernel-scheduled events.  Each event is scheduled right after the
+    # publication that crossed its index, with a small simulated delay so
+    # that it fires *while the next publication's messages are in flight* —
+    # joins and graceful leaves then defer to the next quiescent point,
+    # crashes take effect immediately and destroy in-flight traffic.
+    churn_schedule = (
+        config.churn.events_for(config.num_tuples)
+        if config.churn is not None and config.churn.enabled
+        else []
+    )
+    churn_cursor = 0
+
+    def _dispatch_churn(index: int) -> None:
+        nonlocal churn_cursor
+        spec = config.churn
+        while churn_cursor < len(churn_schedule) and churn_schedule[churn_cursor][0] <= index:
+            _, kind = churn_schedule[churn_cursor]
+            churn_cursor += 1
+            engine.schedule_membership_op(
+                kind,
+                delay=spec.op_delay,
+                graceful=spec.graceful,
+                min_nodes=spec.min_nodes,
+                max_nodes=spec.max_nodes,
+            )
+
     def _capture(index: int, previous_index: int) -> None:
         if config.capture_per_tuple:
             qpl_total, storage_total = engine.loads.snapshot()
@@ -219,13 +248,20 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 [(generated.relation, generated.values) for generated in batch]
             )
             previous_index, index = index, index + len(batch)
+            _dispatch_churn(index)
             _capture(index, previous_index)
     else:
         for index, generated in enumerate(
             generator.tuple_stream(config.num_tuples), start=1
         ):
             engine.publish(generated.relation, generated.values)
+            _dispatch_churn(index)
             _capture(index, index - 1)
+
+    # Churn events scheduled after the last publication are still pending on
+    # the kernel; fire them (and their re-homing) before the final snapshot.
+    if churn_schedule:
+        engine.run()
 
     summary = engine.metrics_summary()
     messages_total, ric_total = engine.traffic.snapshot()

@@ -12,8 +12,9 @@ runner (``repro.experiments.parallel``) and the CLI
 Two groups of scenarios ship by default:
 
 * the exploratory grid of the ROADMAP — ``baseline``, ``skew-sweep``,
-  ``window-churn``, ``bursty``, ``query-flood`` and ``hot-key`` — stressing
-  the system along axes the paper's Section 8 only touches implicitly, and
+  ``window-churn``, ``bursty``, ``query-flood``, ``hot-key``, ``node-churn``
+  and ``latency`` — stressing the system along axes the paper's Section 8
+  only touches implicitly, and
 * one scenario per paper figure (``fig2`` … ``fig9``) so that the figure
   functions are thin consumers of the registry.
 
@@ -28,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
-from repro.experiments.config import ExperimentConfig, is_full_scale
+from repro.experiments.config import ChurnSpec, ExperimentConfig, is_full_scale
 from repro.sql.ast import WindowSpec
 
 
@@ -343,6 +344,105 @@ register(
         paper_base=ExperimentConfig.paper_scale(
             name="hot-key", hot_value_count=2
         ),
+    )
+)
+
+register(
+    Scenario(
+        name="node-churn",
+        description=(
+            "Live ring membership: nodes join, leave gracefully and crash "
+            "mid-stream; measures re-homing cost, lost state and answer "
+            "completeness under topology change."
+        ),
+        axis="churn",
+        default_base=ExperimentConfig(
+            name="node-churn",
+            num_nodes=40,
+            num_queries=100,
+            num_tuples=100,
+            warmup_tuples=20,
+        ),
+        default_variants=(
+            Variant(label="stable", overrides={"churn": None}),
+            Variant(
+                label="join",
+                overrides={"churn": ChurnSpec(join_every=20)},
+            ),
+            Variant(
+                label="leave",
+                overrides={"churn": ChurnSpec(leave_every=20)},
+            ),
+            Variant(
+                label="crash",
+                overrides={"churn": ChurnSpec(crash_every=25)},
+            ),
+            Variant(
+                label="mixed",
+                overrides={
+                    "churn": ChurnSpec(
+                        join_every=20, leave_every=30, crash_every=50
+                    )
+                },
+            ),
+        ),
+        paper_base=ExperimentConfig.paper_scale(name="node-churn"),
+        paper_variants=(
+            Variant(label="stable", overrides={"churn": None}),
+            Variant(
+                label="join",
+                overrides={"churn": ChurnSpec(join_every=50)},
+            ),
+            Variant(
+                label="leave",
+                overrides={"churn": ChurnSpec(leave_every=50)},
+            ),
+            Variant(
+                label="crash",
+                overrides={"churn": ChurnSpec(crash_every=100)},
+            ),
+            Variant(
+                label="mixed",
+                overrides={
+                    "churn": ChurnSpec(
+                        join_every=50, leave_every=75, crash_every=150
+                    )
+                },
+            ),
+        ),
+    )
+)
+
+register(
+    Scenario(
+        name="latency",
+        description=(
+            "Network asynchrony swept independently of load: hop delay and "
+            "per-message jitter separate algorithmic cost from delivery "
+            "interleaving (ALTT/Δ pressure)."
+        ),
+        axis="hop_delay/delay_jitter",
+        default_base=ExperimentConfig(
+            name="latency",
+            num_nodes=60,
+            num_queries=120,
+            num_tuples=80,
+            warmup_tuples=20,
+        ),
+        default_variants=(
+            Variant(label="hop=0.1", overrides={"hop_delay": 0.1}),
+            Variant(label="hop=1", overrides={"hop_delay": 1.0}),
+            Variant(label="hop=5", overrides={"hop_delay": 5.0}),
+            Variant(
+                label="hop=1+jitter=2",
+                overrides={"hop_delay": 1.0, "delay_jitter": 2.0},
+            ),
+            Variant(
+                label="hop=1+jitter=10",
+                overrides={"hop_delay": 1.0, "delay_jitter": 10.0},
+            ),
+        ),
+        paper_base=ExperimentConfig.paper_scale(name="latency"),
     )
 )
 

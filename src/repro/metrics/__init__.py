@@ -14,7 +14,12 @@ The experimental section measures three quantities per node (Section 8):
 text-table rendering used by the benchmark harness.
 """
 
-from repro.metrics.collectors import LoadTracker, NodeLoad
+from repro.metrics.collectors import (
+    ChurnStats,
+    LoadTracker,
+    MembershipEvent,
+    NodeLoad,
+)
 from repro.metrics.report import (
     format_table,
     group_ranked,
@@ -23,7 +28,9 @@ from repro.metrics.report import (
 )
 
 __all__ = [
+    "ChurnStats",
     "LoadTracker",
+    "MembershipEvent",
     "NodeLoad",
     "format_table",
     "group_ranked",

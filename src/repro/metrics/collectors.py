@@ -21,6 +21,107 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Tuple
 
 
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One ring-membership change and the state movement it caused.
+
+    ``kind`` is ``"join"``, ``"leave"``, ``"crash"`` or ``"move"`` (one
+    id-movement rebalancing round).  Re-homed counters cover state handed to
+    its new owner; lost counters cover state destroyed by a crash.
+    """
+
+    kind: str
+    address: str
+    at: float
+    records_rehomed: int = 0
+    bytes_rehomed: int = 0
+    records_lost: int = 0
+    bytes_lost: int = 0
+
+
+class ChurnStats:
+    """Network-wide accounting of membership churn and state re-homing.
+
+    Fed by the engine's :class:`~repro.core.membership.MembershipManager`;
+    aggregates are maintained incrementally so the metrics summary reads
+    them in O(1).
+    """
+
+    def __init__(self) -> None:
+        self.events: List[MembershipEvent] = []
+        self._by_kind: Dict[str, int] = defaultdict(int)
+        self._records_rehomed = 0
+        self._bytes_rehomed = 0
+        self._records_lost = 0
+        self._bytes_lost = 0
+
+    def record(self, event: MembershipEvent) -> None:
+        """Account one membership event."""
+        self.events.append(event)
+        self._by_kind[event.kind] += 1
+        self._records_rehomed += event.records_rehomed
+        self._bytes_rehomed += event.bytes_rehomed
+        self._records_lost += event.records_lost
+        self._bytes_lost += event.bytes_lost
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def joins(self) -> int:
+        """Number of nodes that joined the ring."""
+        return self._by_kind["join"]
+
+    @property
+    def leaves(self) -> int:
+        """Number of graceful departures."""
+        return self._by_kind["leave"]
+
+    @property
+    def crashes(self) -> int:
+        """Number of abrupt failures."""
+        return self._by_kind["crash"]
+
+    @property
+    def moves(self) -> int:
+        """Number of id-movement rebalancing rounds that moved state."""
+        return self._by_kind["move"]
+
+    @property
+    def total_events(self) -> int:
+        """Every membership event recorded so far."""
+        return len(self.events)
+
+    @property
+    def records_rehomed(self) -> int:
+        """Stored items moved to a new owner across all events; O(1)."""
+        return self._records_rehomed
+
+    @property
+    def bytes_rehomed(self) -> int:
+        """Estimated payload bytes moved across all events; O(1)."""
+        return self._bytes_rehomed
+
+    @property
+    def records_lost(self) -> int:
+        """Stored items destroyed by crashes; O(1)."""
+        return self._records_lost
+
+    @property
+    def bytes_lost(self) -> int:
+        """Estimated payload bytes destroyed by crashes; O(1)."""
+        return self._bytes_lost
+
+    def reset(self) -> None:
+        """Clear every counter and the event log."""
+        self.events.clear()
+        self._by_kind.clear()
+        self._records_rehomed = 0
+        self._bytes_rehomed = 0
+        self._records_lost = 0
+        self._bytes_lost = 0
+
+
 @dataclass
 class NodeLoad:
     """Load counters of a single node."""

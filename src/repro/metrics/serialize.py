@@ -18,11 +18,11 @@ import math
 from dataclasses import fields
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import ChurnSpec, ExperimentConfig
 from repro.experiments.runner import ExperimentResult
 from repro.sql.ast import WindowSpec
 
-RESULT_SCHEMA_VERSION = 1
+RESULT_SCHEMA_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -42,6 +42,24 @@ def window_from_dict(data: Optional[Mapping[str, object]]) -> Optional[WindowSpe
     return WindowSpec(size=float(data["size"]), mode=str(data["mode"]))
 
 
+def churn_to_dict(churn: Optional[ChurnSpec]) -> Optional[Dict[str, object]]:
+    """A JSON-safe rendering of a membership-churn schedule."""
+    if churn is None:
+        return None
+    return {
+        spec_field.name: getattr(churn, spec_field.name)
+        for spec_field in fields(churn)
+    }
+
+
+def churn_from_dict(data: Optional[Mapping[str, object]]) -> Optional[ChurnSpec]:
+    """Rebuild a :class:`ChurnSpec` from :func:`churn_to_dict` output."""
+    if data is None:
+        return None
+    known = {spec_field.name for spec_field in fields(ChurnSpec)}
+    return ChurnSpec(**{key: value for key, value in data.items() if key in known})
+
+
 def config_to_dict(config: ExperimentConfig) -> Dict[str, object]:
     """A JSON-safe rendering of an experiment configuration."""
     data: Dict[str, object] = {}
@@ -49,6 +67,8 @@ def config_to_dict(config: ExperimentConfig) -> Dict[str, object]:
         value = getattr(config, spec_field.name)
         if isinstance(value, WindowSpec):
             value = window_to_dict(value)
+        elif isinstance(value, ChurnSpec):
+            value = churn_to_dict(value)
         elif isinstance(value, tuple):
             value = list(value)
         data[spec_field.name] = value
@@ -61,6 +81,8 @@ def config_from_dict(data: Mapping[str, object]) -> ExperimentConfig:
     kwargs = {key: value for key, value in data.items() if key in known}
     if kwargs.get("window") is not None:
         kwargs["window"] = window_from_dict(kwargs["window"])  # type: ignore[arg-type]
+    if kwargs.get("churn") is not None:
+        kwargs["churn"] = churn_from_dict(kwargs["churn"])  # type: ignore[arg-type]
     return ExperimentConfig(**kwargs)  # type: ignore[arg-type]
 
 

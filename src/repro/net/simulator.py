@@ -127,6 +127,25 @@ class SimulationKernel:
             raise SimulationError("delay must be non-negative")
         return self.schedule_at(self._now + delay, callback, *args)
 
+    def cancel_where(
+        self, predicate: Callable[[Callable[..., None], Tuple[Any, ...]], bool]
+    ) -> int:
+        """Cancel every pending event matching ``predicate(callback, args)``.
+
+        Used to model abrupt node failures: a crash destroys messages that
+        are still in flight towards the dead address, so their delivery
+        events must never fire.  Returns the number of events cancelled.
+        """
+        cancelled = 0
+        for event in self._heap:
+            if event.cancelled or event.fired:
+                continue
+            if predicate(event.callback, event.args):
+                event.cancelled = True
+                self._live_events -= 1
+                cancelled += 1
+        return cancelled
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -193,6 +212,11 @@ class SimulationKernel:
     def pending_events(self) -> int:
         """Number of events waiting in the queue (excluding cancelled ones); O(1)."""
         return self._live_events
+
+    @property
+    def is_running(self) -> bool:
+        """Whether an event-processing loop is currently executing."""
+        return self._running
 
     @property
     def events_processed(self) -> int:
