@@ -13,7 +13,6 @@ network.
 import pytest
 
 from repro.experiments.figures import figure3
-from repro.metrics.report import participation_count
 
 
 @pytest.mark.benchmark(group="figure3")

@@ -1,0 +1,231 @@
+"""Fail CI when a benchmark's recorded throughput regresses.
+
+Compares two directories of ``BENCH_*.json`` reports — the *baseline*
+committed under ``benchmarks/baselines/`` and the *candidate* written by the
+current CI run (``run_all.py --write-reports``, which uses measured sizes
+for the rate-carrying suites) — and fails when any recorded rate (a numeric
+value whose key is ``ops_per_sec``-like, e.g. ``ops_per_sec`` entries or
+``events_per_second``) drops by more than the threshold (default 30%).
+
+A rate is only gated when its measurement window is long enough to be
+trustworthy: each report records how many seconds the timed section took,
+and rates whose window (baseline or candidate) is below ``--min-seconds``
+(default 20 ms) are skipped with a note — a 30% tolerance is meaningless on
+sub-millisecond timings.
+
+Rates present only in the candidate are reported as new (not failures), so
+adding a benchmark never requires updating baselines first; rates present
+only in the baseline *are* failures — a silently disappearing benchmark is
+exactly what this gate exists to catch.
+
+Caveat: the comparison is of *absolute* rates, so the committed baselines
+are only meaningful for the machine class they were measured on.  When the
+CI runner class changes (or the gate starts failing on an unchanged tree),
+refresh them on the new hardware::
+
+    PYTHONPATH=src python benchmarks/run_all.py --write-reports benchmarks/baselines
+
+and commit the result.  Widening ``--threshold`` is the wrong fix — it
+masks real regressions on every machine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --baseline benchmarks/baselines --candidate benchmarks/smoke-reports \
+        [--threshold 0.30] [--min-seconds 0.02]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: A numeric leaf is a tracked rate when one of its path components matches.
+RATE_KEY = re.compile(r"^(ops_per_sec|\w*_per_second)$")
+#: Path components that must *not* count even though they nest rates
+#: (recorded historical baselines inside a report are constants, not
+#: measurements of this run).
+EXCLUDED_KEY = re.compile(r"^baseline_")
+
+#: Labels used to name list elements in a rate path, in preference order.
+_LABEL_FIELDS = ("backend", "kind", "benchmark", "name", "suite")
+
+
+@dataclass(frozen=True)
+class RateSample:
+    """One recorded rate plus the timing window that produced it."""
+
+    rate: float
+    #: Seconds of the timed section, when the report records it (the
+    #: nearest enclosing ``"seconds"`` entry); None when undiscoverable.
+    window: Optional[float] = None
+
+
+def _window_of(stack: List[dict], leaf_key: str) -> Optional[float]:
+    """The timing window of a rate leaf: the nearest enclosing ``seconds``.
+
+    ``seconds`` may be a number (the whole row's timed section) or a dict
+    keyed like the ``ops_per_sec`` dict (one window per operation).
+    """
+    for enclosing in reversed(stack):
+        seconds = enclosing.get("seconds")
+        if isinstance(seconds, (int, float)) and not isinstance(seconds, bool):
+            return float(seconds)
+        if isinstance(seconds, dict):
+            value = seconds.get(leaf_key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+            return None
+    return None
+
+
+def collect_rates(document: object) -> Dict[str, RateSample]:
+    """Map ``path -> RateSample`` for every tracked rate in a parsed report."""
+    rates: Dict[str, RateSample] = {}
+
+    def _walk(node: object, path: str, tracked: bool, stack: List[dict]) -> None:
+        if isinstance(node, dict):
+            stack = stack + [node]
+            for key, value in node.items():
+                if EXCLUDED_KEY.match(str(key)):
+                    continue
+                _walk(
+                    value,
+                    f"{path}/{key}",
+                    tracked or bool(RATE_KEY.match(str(key))),
+                    stack,
+                )
+        elif isinstance(node, list):
+            for index, value in enumerate(node):
+                label = str(index)
+                if isinstance(value, dict):
+                    for field in _LABEL_FIELDS:
+                        if isinstance(value.get(field), str):
+                            label = value[field]
+                            break
+                _walk(value, f"{path}/{label}", tracked, stack)
+        elif tracked and isinstance(node, (int, float)) and not isinstance(node, bool):
+            leaf_key = path.rsplit("/", 1)[-1]
+            rates[path] = RateSample(
+                rate=float(node), window=_window_of(stack, leaf_key)
+            )
+
+    _walk(document, "", tracked=False, stack=[])
+    return rates
+
+
+def compare_reports(
+    baseline: Dict[str, RateSample],
+    candidate: Dict[str, RateSample],
+    threshold: float,
+    min_window: float = 0.0,
+) -> Tuple[List[str], List[str]]:
+    """``(regressions, skipped)`` — human-readable lines per tracked rate.
+
+    A rate is skipped (not gated) when either side's timing window is known
+    and below ``min_window`` seconds.
+    """
+    problems: List[str] = []
+    skipped: List[str] = []
+    for path, base in sorted(baseline.items()):
+        if base.rate <= 0:
+            continue
+        cand = candidate.get(path)
+        if cand is None:
+            problems.append(f"{path}: rate missing from candidate report")
+            continue
+        windows = [w for w in (base.window, cand.window) if w is not None]
+        if windows and min(windows) < min_window:
+            skipped.append(
+                f"{path}: window {min(windows) * 1000:.1f} ms < "
+                f"{min_window * 1000:.0f} ms floor, not gated"
+            )
+            continue
+        if cand.rate < base.rate * (1.0 - threshold):
+            drop = 100.0 * (1.0 - cand.rate / base.rate)
+            problems.append(
+                f"{path}: {cand.rate:,.1f}/s is {drop:.1f}% below "
+                f"baseline {base.rate:,.1f}/s (threshold {threshold:.0%})"
+            )
+    return problems, skipped
+
+
+def check_directories(
+    baseline_dir: Path,
+    candidate_dir: Path,
+    threshold: float,
+    min_window: float = 0.02,
+    out=sys.stdout,
+) -> int:
+    """Compare every shared ``BENCH_*.json``; returns the exit code."""
+    baseline_files = {p.name: p for p in sorted(baseline_dir.glob("BENCH_*.json"))}
+    if not baseline_files:
+        print(f"error: no BENCH_*.json baselines under {baseline_dir}", file=out)
+        return 2
+    failures: List[str] = []
+    checked = 0
+    ungated = 0
+    for name, baseline_path in baseline_files.items():
+        candidate_path = candidate_dir / name
+        if not candidate_path.exists():
+            failures.append(f"{name}: report missing from candidate directory")
+            continue
+        base_rates = collect_rates(json.loads(baseline_path.read_text()))
+        cand_rates = collect_rates(json.loads(candidate_path.read_text()))
+        problems, skipped = compare_reports(
+            base_rates, cand_rates, threshold, min_window
+        )
+        checked += len(base_rates) - len(skipped)
+        ungated += len(skipped)
+        for problem in problems:
+            failures.append(f"{name}{problem}")
+        for note in skipped:
+            print(f"note: {name}{note}", file=out)
+        new = sorted(set(cand_rates) - set(base_rates))
+        for path in new:
+            print(f"note: {name}{path} is new (no baseline yet)", file=out)
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):", file=out)
+        for failure in failures:
+            print(f"  - {failure}", file=out)
+        return 1
+    print(
+        f"no regressions: {checked} rates across {len(baseline_files)} "
+        f"report(s) within {threshold:.0%} of baseline "
+        f"({ungated} below the {min_window * 1000:.0f} ms window floor)",
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", type=Path, required=True,
+        help="directory of committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--candidate", type=Path, required=True,
+        help="directory of freshly written BENCH_*.json reports",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="maximum tolerated fractional drop of any rate (default 0.30)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.02,
+        help="minimum timing window (s) for a rate to be gated (default 0.02)",
+    )
+    args = parser.parse_args(argv)
+    return check_directories(
+        args.baseline, args.candidate, args.threshold, args.min_seconds
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

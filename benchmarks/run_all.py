@@ -64,23 +64,46 @@ def _import_benchmark(name: str):
         return module
 
 
-#: Microbenchmark suites: (module name, runner, one-line success summary).
-#: Each runner returns a JSON-safe report dictionary.
-SMOKE_SUITES: List[Tuple[str, Callable[..., Dict[str, object]], Callable[[Dict[str, object]], str]]] = [
+#: Microbenchmark suites: (module name, smoke runner, report runner,
+#: one-line success summary).  The smoke runner uses tiny sizes (pure
+#: correctness sweep); the report runner — used when ``--write-reports`` is
+#: given — uses *measured* sizes so the recorded ops/sec have timing windows
+#: long enough for the CI regression gate (``check_regression.py``) to
+#: compare meaningfully.  ``bench_parallel`` records no rates and its
+#: measured grid is minutes of work, so its report stays smoke-sized.
+SMOKE_SUITES: List[
+    Tuple[
+        str,
+        Callable[..., Dict[str, object]],
+        Callable[..., Dict[str, object]],
+        Callable[[Dict[str, object]], str],
+    ]
+] = [
     (
         "bench_micro_hotpaths",
         lambda module: module.run_all(smoke=True),
+        lambda module: module.run_all(smoke=False),
         lambda report: f"{len(report['results'])} benchmarks",
     ),
     (
         "bench_parallel",
+        lambda module: module.run_bench(smoke=True, workers=2),
         lambda module: module.run_bench(smoke=True, workers=2),
         lambda report: f"{report['cells']} cells",
     ),
     (
         "bench_churn",
         lambda module: module.run_bench(smoke=True),
+        lambda module: module.run_bench(
+            smoke=False, nodes=32, queries=100, tuples=150, events=16
+        ),
         lambda report: f"{len(report['results'])} event kinds",
+    ),
+    (
+        "bench_store_backends",
+        lambda module: module.run_bench(smoke=True),
+        lambda module: module.run_bench(smoke=False),
+        lambda report: f"{len(report['results'])} backends",
     ),
 ]
 
@@ -89,8 +112,9 @@ def run_all(verbose: bool = True, reports_dir: "str | None" = None) -> List[str]
     """Smoke-run every benchmark; returns a list of failure descriptions.
 
     ``reports_dir`` optionally receives one ``BENCH_<name>.json`` per
-    microbenchmark suite (the smoke-sized reports) — CI uploads these as
-    workflow artifacts.
+    microbenchmark suite; with it set, rate-carrying suites run at measured
+    sizes (see :data:`SMOKE_SUITES`) so CI can upload the reports as
+    workflow artifacts and gate them against the committed baselines.
     """
     failures: List[str] = []
 
@@ -112,9 +136,15 @@ def run_all(verbose: bool = True, reports_dir: "str | None" = None) -> List[str]
             ).figure,
         )
 
-    for module_name, runner, describe in SMOKE_SUITES:
-        def _run(module_name=module_name, runner=runner, describe=describe) -> str:
+    for module_name, smoke_runner, report_runner, describe in SMOKE_SUITES:
+        def _run(
+            module_name=module_name,
+            smoke_runner=smoke_runner,
+            report_runner=report_runner,
+            describe=describe,
+        ) -> str:
             module = _import_benchmark(module_name)
+            runner = smoke_runner if reports_dir is None else report_runner
             report = runner(module)
             if reports_dir is not None:
                 directory = Path(reports_dir)

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro.data.backends import BACKEND_NAMES, DEFAULT_BACKEND
 from repro.errors import ConfigurationError
 from repro.sql.ast import WindowSpec
 
@@ -32,6 +33,11 @@ class RJoinConfig:
         exercise the ALTT machinery with out-of-order deliveries).
     strategy:
         Indexing strategy name: ``rjoin``, ``random``, ``worst`` or ``first``.
+    store_backend:
+        Node-local tuple-store backend: ``memory`` (the default dict +
+        prefix-index store), ``sqlite`` (table-backed, index scans for
+        prefix match and expiry) or ``append-log`` (append-only log with
+        compaction); see :func:`repro.data.backends.make_store`.
     allow_attribute_level_rewrites:
         Whether rewritten queries may also be indexed at the attribute level
         (candidate family (a) of Section 6).  Attribute-level rewritten
@@ -79,6 +85,7 @@ class RJoinConfig:
     hop_delay: float = 1.0
     delay_jitter: float = 0.0
     strategy: str = "rjoin"
+    store_backend: str = DEFAULT_BACKEND
     allow_attribute_level_rewrites: bool = False
     altt_delta: Union[str, float, None] = AUTO
     count_altt_in_storage: bool = False
@@ -99,6 +106,11 @@ class RJoinConfig:
             raise ConfigurationError("bits must be in (0, 160]")
         if self.hop_delay < 0 or self.delay_jitter < 0:
             raise ConfigurationError("delays must be non-negative")
+        if self.store_backend not in BACKEND_NAMES:
+            known = ", ".join(BACKEND_NAMES)
+            raise ConfigurationError(
+                f"unknown store backend {self.store_backend!r}; known: {known}"
+            )
         if isinstance(self.altt_delta, str) and self.altt_delta != AUTO:
             raise ConfigurationError(
                 f"altt_delta must be a number, None or {AUTO!r}"

@@ -12,7 +12,7 @@ before.  The rule needs only local state and no extra messages.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, List, Set, Tuple as TupleT
+from typing import Any, List, Set, Tuple as TupleT
 
 from repro.data.schema import RelationSchema
 from repro.data.tuples import Tuple

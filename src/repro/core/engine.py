@@ -20,6 +20,7 @@ at any time through :attr:`traffic`, :attr:`loads` and
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.answers import Answer, QueryHandle
@@ -57,8 +58,16 @@ class RJoinEngine:
         config: Optional[RJoinConfig] = None,
         catalog: Optional[Catalog] = None,
         strategy: Optional[IndexingStrategy] = None,
+        store_backend: Optional[str] = None,
     ):
+        """``store_backend`` overrides ``config.store_backend`` when given
+        (``memory`` / ``sqlite`` / ``append-log``; see
+        :func:`repro.data.backends.make_store`)."""
         self.config = config or RJoinConfig()
+        if store_backend is not None:
+            # replace() re-runs validation, so an unknown backend name fails
+            # here rather than at the first node construction.
+            self.config = replace(self.config, store_backend=store_backend)
         self.catalog = catalog or Catalog()
         self._rng = random.Random(self.config.seed)
 
@@ -95,6 +104,7 @@ class RJoinEngine:
             rate_oracle=self._oracle_rate,
             collect_answer=self._collect_answer,
             altt_delta=altt_delta,
+            store_backend=self.config.store_backend,
         )
         self.nodes: Dict[str, RJoinNode] = {}
         for chord_node in self.ring.nodes:
@@ -120,6 +130,9 @@ class RJoinEngine:
         )
         self._churn_rng = random.Random(self.config.seed + 3)
         self._next_node_index = len(self.ring)
+        #: Stale one-hop attempts recorded by nodes that have since departed;
+        #: keeps the engine-wide counter monotone under churn.
+        self._departed_stale_attempts = 0
         #: Join/leave operations requested while the kernel was mid-drain;
         #: applied at the next quiescent point (see :meth:`run`).
         self._pending_membership: List[tuple] = []
@@ -334,7 +347,9 @@ class RJoinEngine:
             checked.append((relation, values))
         return checked
 
-    def _build_tuple(self, relation: str, values: Sequence[object], publisher: str) -> Tuple:
+    def _build_tuple(
+        self, relation: str, values: Sequence[object], publisher: str
+    ) -> Tuple:
         """Sequence, construct and oracle-record one publication."""
         schema = self.catalog.get(relation)
         # Construct (and schema-validate) first: the sequence counter and the
@@ -544,6 +559,7 @@ class RJoinEngine:
         self.api.unregister_handler(address)
         self.api.drop_in_flight(address)
         self.membership.discard(node)
+        self._forget_departed(address, node)
         return address
 
     def schedule_membership_op(
@@ -566,7 +582,7 @@ class RJoinEngine:
         if kind not in ("join", "leave", "crash"):
             raise EngineError(
                 f"unknown membership operation {kind!r}; "
-                f"expected 'join', 'leave' or 'crash'"
+                "expected 'join', 'leave' or 'crash'"
             )
         return self.kernel.schedule_in(
             delay, self._fire_membership_op, kind, address, graceful,
@@ -633,6 +649,23 @@ class RJoinEngine:
         self.ring.remove_node(address)
         self.api.unregister_handler(address)
         self.membership.handoff(node)
+        self._forget_departed(address, node)
+
+    def _forget_departed(self, address: str, node: RJoinNode) -> None:
+        """Purge every trace of a departed node from the survivors.
+
+        RIC state pointing at the departed address — candidate-table
+        entries, per-query piggy-backed caches, pending RIC round trips —
+        is invalidated *eagerly* (churn-aware RIC): the lazy ownership check
+        in ``RJoinNode._send_query`` would reject it anyway, but only after
+        a stale one-hop attempt per affected indexing decision.  The
+        departed node's store is also closed so backends holding external
+        resources (sqlite connections) release them promptly.
+        """
+        for survivor in self.nodes.values():
+            survivor.forget_address(address)
+        self._departed_stale_attempts += node.stale_one_hop_attempts
+        node.tuple_store.close()
 
     def _resolve_victim(self, address: Optional[str], operation: str) -> str:
         if len(self.ring) <= 1:
@@ -699,7 +732,16 @@ class RJoinEngine:
             "records_lost": float(self.churn.records_lost),
             "bytes_lost": float(self.churn.bytes_lost),
             "dropped_messages": float(self.api.dropped_messages),
+            "stale_one_hop_attempts": float(
+                self._departed_stale_attempts
+                + sum(node.stale_one_hop_attempts for node in self.nodes.values())
+            ),
         }
+
+    @property
+    def store_backend(self) -> str:
+        """Name of the tuple-store backend every node of this engine uses."""
+        return self.config.store_backend
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

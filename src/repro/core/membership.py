@@ -139,7 +139,9 @@ class MembershipManager:
             self._record(kind, subject, report)
         return report
 
-    def handoff(self, departed: "RJoinNode", subject: Optional[str] = None) -> RehomeReport:
+    def handoff(
+        self, departed: "RJoinNode", subject: Optional[str] = None
+    ) -> RehomeReport:
         """Hand every item of a departed node to the current owners.
 
         ``departed`` must already be out of the ring and the engine's node
@@ -148,13 +150,15 @@ class MembershipManager:
         if self.ring.has_address(departed.address):
             raise EngineError(
                 f"cannot hand off state of {departed.address!r}: the node is "
-                f"still part of the ring"
+                "still part of the ring"
             )
         report = self._deliver(departed.extract_all())
         self._record("leave", subject or departed.address, report)
         return report
 
-    def discard(self, crashed: "RJoinNode", subject: Optional[str] = None) -> RehomeReport:
+    def discard(
+        self, crashed: "RJoinNode", subject: Optional[str] = None
+    ) -> RehomeReport:
         """Destroy a crashed node's state and account it as lost.
 
         The load tracker is told about the destroyed rewritten queries and
@@ -188,7 +192,7 @@ class MembershipManager:
             except KeyError:
                 raise EngineError(
                     f"re-homing target {owner!r} for key {item.key_text!r} "
-                    f"has no application-layer node registered"
+                    "has no application-layer node registered"
                 ) from None
             target.accept_rehomed(item)
             moved_by_kind[item.kind] = moved_by_kind.get(item.kind, 0) + 1

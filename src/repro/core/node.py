@@ -24,8 +24,17 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as TupleT
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple as TupleT,
+)
 
 from repro.core.altt import AttributeLevelTupleTable
 from repro.core.dedup import ProjectionTracker
@@ -48,8 +57,9 @@ from repro.core.strategy import (
 )
 from repro.core.windows import admits, expired, extend
 from repro.core.config import RJoinConfig
+from repro.data.backends import DEFAULT_BACKEND, StoreBackend, make_store
 from repro.data.schema import Catalog
-from repro.data.store import StoredTuple, TupleStore
+from repro.data.store import StoredTuple
 from repro.data.tuples import Tuple
 from repro.dht.api import DHTMessagingService
 from repro.dht.hashing import IdentifierSpace
@@ -75,6 +85,9 @@ class NodeContext:
     rate_oracle: Callable[[str], float]
     collect_answer: Callable[[AnswerMessage, float], None]
     altt_delta: Optional[float] = None
+    #: Tuple-store backend every node of the engine builds its local store
+    #: from (see :func:`repro.data.backends.make_store`).
+    store_backend: str = DEFAULT_BACKEND
 
 
 @dataclass
@@ -211,7 +224,7 @@ class RJoinNode:
         # Stored state ----------------------------------------------------
         self.input_queries = QueryTable()
         self.rewritten_queries = QueryTable()
-        self.tuple_store = TupleStore()
+        self.tuple_store: StoreBackend = make_store(ctx.store_backend)
         self.altt = AttributeLevelTupleTable(delta=ctx.altt_delta)
         # RIC state ---------------------------------------------------------
         self.rates = RateTracker(window=ctx.config.ric_window)
@@ -220,6 +233,11 @@ class RJoinNode:
         self._ric_counter = 0
         # Local counters ------------------------------------------------------
         self.answers_sent = 0
+        #: Times a cached one-hop address turned out to have left the ring by
+        #: the time a query was sent (Section 6 shortcut gone stale).  Eager
+        #: candidate-table invalidation on membership events keeps this at
+        #: zero; the counter is the regression probe for that behaviour.
+        self.stale_one_hop_attempts = 0
 
     # ------------------------------------------------------------------
     # dispatch
@@ -387,7 +405,7 @@ class RJoinNode:
         now = self.ctx.clock()
         self.ctx.loads.record_input_query_received(self.address)
         state, key = msg.state, msg.key
-        self.candidate_table.update_many(state.ric_info.values())
+        self._adopt_ric_info(state)
         record = StoredQueryRecord(
             state=state,
             key=key,
@@ -413,7 +431,7 @@ class RJoinNode:
         now = self.ctx.clock()
         self.ctx.loads.record_query_received(self.address)
         state, key = msg.state, msg.key
-        self.candidate_table.update_many(state.ric_info.values())
+        self._adopt_ric_info(state)
 
         record = StoredQueryRecord(
             state=state,
@@ -468,6 +486,25 @@ class RJoinNode:
     # ------------------------------------------------------------------
     # indexing pipeline (Sections 3, 6 and 7)
     # ------------------------------------------------------------------
+    def _adopt_ric_info(self, state: QueryState) -> None:
+        """Adopt the RIC information piggy-backed on an arriving query.
+
+        Entries reported by nodes that have since left the ring are purged
+        *before* they reach the candidate table — otherwise an in-flight
+        query would re-pollute tables that the membership event already
+        invalidated eagerly, and the stale address would surface later as a
+        failed one-hop attempt.
+        """
+        ring = self.ctx.api.ring
+        stale = [
+            key_text
+            for key_text, cached in state.ric_info.items()
+            if not ring.has_address(cached.address)
+        ]
+        for key_text in stale:
+            del state.ric_info[key_text]
+        self.candidate_table.update_many(state.ric_info.values())
+
     def _index_query(self, state: QueryState, is_input: bool) -> None:
         """Decide where to index ``state`` and send it there."""
         config = self.ctx.config
@@ -570,9 +607,19 @@ class RJoinNode:
         op = self._pending_ric.pop(msg.request_id, None)
         if op is None:
             return
-        self.candidate_table.update_many(msg.collected)
-        entries = dict(op.known)
-        for entry in msg.collected:
+        # A reporter can crash while its reply is in flight; its entries are
+        # dead on arrival and must not re-enter the candidate table.
+        ring = self.ctx.api.ring
+        collected = [
+            entry for entry in msg.collected if ring.has_address(entry.address)
+        ]
+        self.candidate_table.update_many(collected)
+        entries = {
+            key_text: entry
+            for key_text, entry in op.known.items()
+            if ring.has_address(entry.address)
+        }
+        for entry in collected:
             entries[entry.key_text] = entry
         self._finish_indexing(op.state, op.is_input, op.candidates, entries)
 
@@ -608,9 +655,13 @@ class RJoinNode:
         # The one-hop shortcut of Section 6 only applies while the cached
         # candidate address is still responsible for the key; after a node
         # leaves or moves (id movement), fall back to a regular DHT lookup.
+        if known_address is not None and not ring.has_address(known_address):
+            # The cached candidate departed: membership events should have
+            # invalidated this entry eagerly, so count the stale attempt.
+            self.stale_one_hop_attempts += 1
+            known_address = None
         if (
             known_address is not None
-            and ring.has_address(known_address)
             and ring.owner_of_key(key.text).address == known_address
         ):
             self.ctx.api.send_direct(self.address, message, known_address)
@@ -690,7 +741,9 @@ class RJoinNode:
                 if not should_move(key_text):
                     continue
                 for record in table.pop_key(key_text):
-                    items.append(RehomedItem(kind=kind, key_text=key_text, payload=record))
+                    items.append(
+                        RehomedItem(kind=kind, key_text=key_text, payload=record)
+                    )
 
         _extract_table(self.input_queries, "input")
         _extract_table(self.rewritten_queries, "rewritten")
@@ -712,6 +765,35 @@ class RJoinNode:
                 )
         return items
 
+    def forget_address(self, address: str) -> int:
+        """Eagerly drop every piece of RIC state naming a departed node.
+
+        Called once per membership departure (graceful leave or crash).
+        Covers the candidate table, the RIC caches piggy-backed on stored
+        query states (which would otherwise re-pollute the candidate table
+        on the next trigger) and pending RIC round trips.  Returns the
+        number of invalidated entries.
+        """
+        dropped = self.candidate_table.invalidate_address(address)
+
+        def _purge(info: Dict[str, RicEntry]) -> int:
+            stale = [
+                key_text
+                for key_text, cached in info.items()
+                if cached.address == address
+            ]
+            for key_text in stale:
+                del info[key_text]
+            return len(stale)
+
+        for table in (self.input_queries, self.rewritten_queries):
+            for _, records in table.items():
+                for record in records:
+                    dropped += _purge(record.state.ric_info)
+        for op in self._pending_ric.values():
+            dropped += _purge(op.known)
+        return dropped
+
     def accept_rehomed(self, item: RehomedItem) -> None:
         """Adopt an item handed over by another node after a membership change."""
         if item.kind == "input":
@@ -729,7 +811,7 @@ class RJoinNode:
             raise EngineError(
                 f"cannot re-home item of unknown kind {item.kind!r} for key "
                 f"{item.key_text!r}; expected one of 'input', 'rewritten', "
-                f"'tuple' or 'altt'"
+                "'tuple' or 'altt'"
             )
 
     # ------------------------------------------------------------------

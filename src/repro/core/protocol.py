@@ -24,7 +24,7 @@ far, and the piggy-backed RIC entries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple as TupleT
 
 from repro.core.keys import IndexKey

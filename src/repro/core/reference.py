@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple as TupleT
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple as TupleT
 
 from repro.core.windows import combination_valid
 from repro.data.schema import AttributeRef, Catalog

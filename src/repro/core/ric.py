@@ -21,7 +21,7 @@ state support this:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Mapping, Optional
 
 
@@ -113,6 +113,23 @@ class CandidateTable:
             return entry
         self._misses += 1
         return None
+
+    def invalidate_address(self, address: str) -> int:
+        """Drop every cached entry reported by ``address``; returns the count.
+
+        Called eagerly when a node leaves the ring (graceful departure or
+        crash): entries pointing at the departed node can never satisfy the
+        one-hop shortcut again, so keeping them only produces stale one-hop
+        attempts that the lazy ownership check must then reject.
+        """
+        stale = [
+            key_text
+            for key_text, entry in self._entries.items()
+            if entry.address == address
+        ]
+        for key_text in stale:
+            del self._entries[key_text]
+        return len(stale)
 
     def address_of(self, key_text: str) -> Optional[str]:
         """Last known responsible node for ``key_text`` (even if the rate is stale)."""

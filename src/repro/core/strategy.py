@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Sequence
 
 from repro.core.keys import IndexKey, attribute_key, value_key
 from repro.errors import ConfigurationError

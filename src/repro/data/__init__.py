@@ -9,19 +9,34 @@ provides:
   catalog shared by publishers and queriers,
 * :class:`~repro.data.tuples.Tuple` — an immutable published tuple carrying
   its publication time and per-relation sequence number,
-* :class:`~repro.data.store.TupleStore` — the per-node local tuple storage
-  keyed by indexing keys (used for value-level storage and the ALTT).
+* :class:`~repro.data.backends.StoreBackend` — the contract of the per-node
+  local tuple storage, with three implementations behind
+  :func:`~repro.data.backends.make_store`:
+  :class:`~repro.data.store.TupleStore` (``memory``, the default),
+  :class:`~repro.data.sqlite_store.SqliteTupleStore` (``sqlite``) and
+  :class:`~repro.data.append_log.AppendLogTupleStore` (``append-log``).
 """
 
+from repro.data.backends import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    StoreBackend,
+    StoredTuple,
+    make_store,
+)
 from repro.data.schema import AttributeRef, Catalog, RelationSchema
-from repro.data.store import StoredTuple, TupleStore
+from repro.data.store import TupleStore
 from repro.data.tuples import Tuple
 
 __all__ = [
     "AttributeRef",
+    "BACKEND_NAMES",
     "Catalog",
+    "DEFAULT_BACKEND",
     "RelationSchema",
+    "StoreBackend",
     "StoredTuple",
     "Tuple",
     "TupleStore",
+    "make_store",
 ]

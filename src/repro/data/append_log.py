@@ -1,0 +1,320 @@
+"""Append-only log tuple store (the ``append-log`` backend).
+
+A cheap middle point between the fully indexed in-memory ``memory`` backend
+and the table-backed ``sqlite`` backend: records are only ever *appended* to
+a log (the write path is an O(1) append plus an index insert), deletions are
+tombstones, and the log is compacted when garbage collection has killed
+enough of it.  This mirrors how log-structured stores behave under the
+window-GC pressure the ``store-backends`` scenario applies: steady writes,
+bursty deletions, periodic compaction.
+
+Structures:
+
+* ``_log`` — the append-only list of slots (record + alive flag),
+* ``_by_key`` — key -> alive log positions, kept in publication order,
+* ``_keys_by_prefix`` — the same prefix index the memory backend uses, so
+  attribute-level matches touch only the keys of one relation-attribute
+  pair,
+* two lazy min-heaps over ``(pub_time, position)`` / ``(sequence,
+  position)`` driving the window expiries in O(expired · log n),
+* compaction: when at least :attr:`AppendLogTupleStore.COMPACT_MIN_DEAD`
+  slots are dead *and* the dead fraction reaches half the log, the log is
+  rewritten in place (positions are remapped, heaps rebuilt) —
+  :attr:`AppendLogTupleStore.compactions` counts the rewrites for the
+  benchmark report.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Set, Tuple as TupleT
+
+from repro.data.backends import (
+    StoreBackend,
+    StoredTuple,
+    bucket_of,
+    merge_records,
+    record_order,
+)
+from repro.data.tuples import Tuple
+
+
+@dataclass
+class _Slot:
+    """One log entry: the stored record plus its tombstone flag."""
+
+    record: StoredTuple
+    alive: bool = True
+
+
+class AppendLogTupleStore(StoreBackend):
+    """Key-addressed tuple storage over an append-only record log."""
+
+    name = "append-log"
+
+    #: Compaction never fires below this many dead slots (small stores churn
+    #: too fast for a rewrite to pay off).
+    COMPACT_MIN_DEAD = 64
+
+    def __init__(self) -> None:
+        self._log: List[_Slot] = []
+        self._by_key: Dict[str, List[int]] = {}
+        self._keys_by_prefix: Dict[str, Set[str]] = {}
+        self._unprefixed_keys: Set[str] = set()
+        self._identity_counts: Dict[TupleT[str, int], int] = {}
+        self._size = 0
+        self._stored_total = 0
+        self._dead = 0
+        #: Number of log rewrites performed so far (benchmark visibility).
+        self.compactions = 0
+        # Lazy expiry heaps over (clock value, log position); positions are
+        # unique so no tiebreak is needed.  Rebuilt on compaction.
+        self._time_heap: List[TupleT[float, int]] = []
+        self._seq_heap: List[TupleT[int, int]] = []
+        self._track_time = False
+        self._track_seq = False
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, key: str, tup: Tuple, now: float) -> StoredTuple:
+        """Append ``tup`` to the log and index it under ``key``."""
+        record = StoredTuple(tuple=tup, key=key, stored_at=now)
+        position = len(self._log)
+        self._log.append(_Slot(record=record))
+        positions = self._by_key.get(key)
+        if positions is None:
+            self._by_key[key] = [position]
+            bucket = bucket_of(key)
+            if bucket is None:
+                self._unprefixed_keys.add(key)
+            else:
+                self._keys_by_prefix.setdefault(bucket, set()).add(key)
+        elif record_order(record) >= record_order(self._log[positions[-1]].record):
+            positions.append(position)
+        else:
+            insort(
+                positions,
+                position,
+                key=lambda p: record_order(self._log[p].record),
+            )
+        self._size += 1
+        self._stored_total += 1
+        identity = tup.identity
+        self._identity_counts[identity] = self._identity_counts.get(identity, 0) + 1
+        if self._track_time:
+            heapq.heappush(self._time_heap, (tup.pub_time, position))
+        if self._track_seq:
+            heapq.heappush(self._seq_heap, (tup.sequence, position))
+        return record
+
+    def _drop_key(self, key: str) -> None:
+        """Remove an emptied key from the dictionary and the prefix index."""
+        del self._by_key[key]
+        bucket = bucket_of(key)
+        if bucket is None:
+            self._unprefixed_keys.discard(key)
+        else:
+            keys = self._keys_by_prefix.get(bucket)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._keys_by_prefix[bucket]
+
+    def _kill(self, position: int, unindex: bool = True) -> None:
+        """Tombstone the slot at ``position`` (must be alive)."""
+        slot = self._log[position]
+        slot.alive = False
+        self._dead += 1
+        self._size -= 1
+        identity = slot.record.tuple.identity
+        count = self._identity_counts[identity] - 1
+        if count:
+            self._identity_counts[identity] = count
+        else:
+            del self._identity_counts[identity]
+        if unindex:
+            key = slot.record.key
+            positions = self._by_key[key]
+            positions.remove(position)
+            if not positions:
+                self._drop_key(key)
+
+    def _ensure_time_heap(self) -> None:
+        if self._track_time:
+            return
+        self._track_time = True
+        self._time_heap = [
+            (slot.record.tuple.pub_time, position)
+            for position, slot in enumerate(self._log)
+            if slot.alive
+        ]
+        heapq.heapify(self._time_heap)
+
+    def _ensure_seq_heap(self) -> None:
+        if self._track_seq:
+            return
+        self._track_seq = True
+        self._seq_heap = [
+            (slot.record.tuple.sequence, position)
+            for position, slot in enumerate(self._log)
+            if slot.alive
+        ]
+        heapq.heapify(self._seq_heap)
+
+    def _expire(self, heap: List[TupleT], cutoff) -> int:
+        """Tombstone every alive position the heap reports below ``cutoff``."""
+        removed = 0
+        while heap and heap[0][0] < cutoff:
+            _, position = heapq.heappop(heap)
+            if self._log[position].alive:
+                self._kill(position)
+                removed += 1
+        if removed:
+            self._maybe_compact()
+        return removed
+
+    def remove_older_than(self, key: str, cutoff: float) -> int:
+        """Drop tuples under ``key`` stored strictly before ``cutoff``."""
+        positions = self._by_key.get(key)
+        if not positions:
+            return 0
+        expired = [
+            p for p in positions if self._log[p].record.stored_at < cutoff
+        ]
+        for position in expired:
+            self._kill(position)
+        if expired:
+            self._maybe_compact()
+        return len(expired)
+
+    def remove_published_before(self, cutoff: float) -> int:
+        """Drop every tuple published strictly before ``cutoff``."""
+        self._ensure_time_heap()
+        return self._expire(self._time_heap, cutoff)
+
+    def remove_sequenced_before(self, cutoff: float) -> int:
+        """Drop every tuple whose sequence number is strictly below ``cutoff``."""
+        self._ensure_seq_heap()
+        return self._expire(self._seq_heap, cutoff)
+
+    def remove_key(self, key: str) -> List[StoredTuple]:
+        """Remove and return every record stored under ``key`` (re-homing)."""
+        positions = self._by_key.get(key)
+        if not positions:
+            return []
+        records = [self._log[p].record for p in positions]
+        for position in positions:
+            self._kill(position, unindex=False)
+        self._drop_key(key)
+        self._maybe_compact()
+        return records
+
+    def clear(self) -> None:
+        """Remove every stored tuple (does not reset cumulative counters)."""
+        self._log.clear()
+        self._by_key.clear()
+        self._keys_by_prefix.clear()
+        self._unprefixed_keys.clear()
+        self._identity_counts.clear()
+        self._time_heap.clear()
+        self._seq_heap.clear()
+        self._size = 0
+        self._dead = 0
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        if self._dead >= self.COMPACT_MIN_DEAD and self._dead * 2 >= len(self._log):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rewrite the log without tombstones, remapping every position."""
+        mapping: Dict[int, int] = {}
+        compacted: List[_Slot] = []
+        for position, slot in enumerate(self._log):
+            if slot.alive:
+                mapping[position] = len(compacted)
+                compacted.append(slot)
+        self._log = compacted
+        self._by_key = {
+            key: [mapping[p] for p in positions]
+            for key, positions in self._by_key.items()
+        }
+        if self._track_time:
+            self._time_heap = [
+                (slot.record.tuple.pub_time, position)
+                for position, slot in enumerate(self._log)
+            ]
+            heapq.heapify(self._time_heap)
+        if self._track_seq:
+            self._seq_heap = [
+                (slot.record.tuple.sequence, position)
+                for position, slot in enumerate(self._log)
+            ]
+            heapq.heapify(self._seq_heap)
+        self._dead = 0
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def tuples_for_key(self, key: str) -> List[Tuple]:
+        """The tuples stored under exactly ``key``, in publication order."""
+        return [
+            self._log[p].record.tuple for p in self._by_key.get(key, [])
+        ]
+
+    def records_for_key(self, key: str) -> List[StoredTuple]:
+        """The stored records under exactly ``key``, in publication order."""
+        return [self._log[p].record for p in self._by_key.get(key, [])]
+
+    def tuples_for_prefix(self, prefix: str) -> List[Tuple]:
+        """Tuples under any key starting with ``prefix`` (deduplicated, ordered)."""
+        bucket = bucket_of(prefix)
+        if bucket is not None and len(bucket) == len(prefix):
+            keys: Iterable[str] = self._keys_by_prefix.get(prefix) or ()
+        else:
+            keys = [key for key in self._by_key if key.startswith(prefix)]
+        lists = [self.records_for_key(key) for key in keys]
+        if not lists:
+            return []
+        return merge_records(lists)
+
+    def has_key(self, key: str) -> bool:
+        """Return whether any tuple is stored under ``key``."""
+        return key in self._by_key
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of currently stored entries (across all keys); O(1)."""
+        return self._size
+
+    @property
+    def cumulative_stored(self) -> int:
+        """Total number of store operations performed over the node's lifetime."""
+        return self._stored_total
+
+    def keys(self) -> Iterable[str]:
+        """Iterate over the indexing keys that currently hold tuples."""
+        return self._by_key.keys()
+
+    def __iter__(self) -> Iterator[StoredTuple]:
+        for positions in self._by_key.values():
+            for position in positions:
+                yield self._log[position].record
+
+    def distinct_tuples(self) -> int:
+        """Number of distinct publications currently stored at this node; O(1)."""
+        return len(self._identity_counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AppendLogTupleStore(size={self._size}, log={len(self._log)}, "
+            f"dead={self._dead}, compactions={self.compactions})"
+        )

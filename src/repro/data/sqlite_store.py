@@ -1,0 +1,269 @@
+"""SQLite-backed tuple store (the ``sqlite`` backend).
+
+A disk-capable implementation of the
+:class:`~repro.data.backends.StoreBackend` contract: stored records live in
+one SQLite table whose indexes make every hot operation an index scan —
+
+* ``(relation, attribute, value)`` serves the attribute-level prefix match
+  (:meth:`SqliteTupleStore.tuples_for_prefix`): canonical two-field prefixes
+  resolve to an equality scan on the first two columns,
+* ``(pub_time, sequence)`` and ``(sequence)`` serve the two window-expiry
+  orders (:meth:`SqliteTupleStore.remove_published_before` /
+  :meth:`SqliteTupleStore.remove_sequenced_before`),
+* ``(key, pub_time, sequence)`` serves exact-key lookups in publication
+  order without re-sorting.
+
+Writes are *batched*: :meth:`SqliteTupleStore.add` only appends to a pending
+buffer, and the buffer is flushed inside a single transaction the first time
+a read or removal needs to see it.  Under the engine's batched publish path
+(``RJoinEngine.publish_batch``) every tuple fan-out of one network drain
+lands in one ``executemany`` per node — one transaction per batch instead of
+one per record.
+
+Tuple values are serialized with :mod:`pickle` so arbitrary Python values
+round-trip exactly (the cross-backend answer-equality tests rely on this).
+By default the database lives in memory (``:memory:``); pass a path to put
+it on disk and study out-of-core behaviour.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+from typing import Iterable, Iterator, List, Tuple as TupleT
+
+from repro.data.backends import (
+    SEPARATOR,
+    StoreBackend,
+    StoredTuple,
+    bucket_of,
+    merge_records,
+)
+from repro.data.tuples import Tuple
+
+_SCHEMA = """
+CREATE TABLE records (
+    id INTEGER PRIMARY KEY,
+    key TEXT NOT NULL,
+    relation TEXT,
+    attribute TEXT,
+    value TEXT,
+    rel TEXT NOT NULL,
+    sequence INTEGER NOT NULL,
+    pub_time REAL NOT NULL,
+    stored_at REAL NOT NULL,
+    publisher TEXT,
+    payload BLOB NOT NULL
+);
+CREATE INDEX idx_records_key_order ON records (key, pub_time, sequence);
+CREATE INDEX idx_records_attr ON records (relation, attribute, value);
+CREATE INDEX idx_records_pub ON records (pub_time, sequence);
+CREATE INDEX idx_records_seq ON records (sequence);
+"""
+
+#: Column list of every record-returning SELECT, in `_record_from_row` order.
+_RECORD_COLUMNS = "key, rel, sequence, pub_time, stored_at, publisher, payload"
+
+
+class SqliteTupleStore(StoreBackend):
+    """Key-addressed tuple storage backed by a SQLite table."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str = ":memory:"):
+        """``path`` is the database location; the default keeps it in memory."""
+        self._conn = sqlite3.connect(path, isolation_level=None)
+        # The store is node-local simulation state: durability across a host
+        # crash buys nothing here, so trade it for write speed.
+        self._conn.execute("PRAGMA synchronous = OFF")
+        self._conn.execute("PRAGMA journal_mode = MEMORY")
+        self._conn.executescript(_SCHEMA)
+        #: INSERT parameter rows buffered until the next read/removal.
+        self._pending: List[TupleT] = []
+        self._size = 0
+        self._stored_total = 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, key: str, tup: Tuple, now: float) -> StoredTuple:
+        """Store ``tup`` under ``key`` and return the stored record."""
+        relation = attribute = value = None
+        if bucket_of(key) is not None:
+            relation, attribute, value = key.split(SEPARATOR, 2)
+        self._pending.append(
+            (
+                key,
+                relation,
+                attribute,
+                value,
+                tup.relation,
+                tup.sequence,
+                tup.pub_time,
+                now,
+                tup.publisher,
+                pickle.dumps(tup.values, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        )
+        self._size += 1
+        self._stored_total += 1
+        return StoredTuple(tuple=tup, key=key, stored_at=now)
+
+    def flush(self) -> None:
+        """Write the pending buffer in one transaction."""
+        if not self._pending:
+            return
+        self._conn.execute("BEGIN")
+        self._conn.executemany(
+            "INSERT INTO records (key, relation, attribute, value, rel, "
+            "sequence, pub_time, stored_at, publisher, payload) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            self._pending,
+        )
+        self._conn.execute("COMMIT")
+        self._pending.clear()
+
+    def _delete(self, sql: str, parameters: TupleT) -> int:
+        """Run a DELETE, keep the size counter in step, return the row count."""
+        self.flush()
+        removed = self._conn.execute(sql, parameters).rowcount
+        self._size -= removed
+        return removed
+
+    def remove_older_than(self, key: str, cutoff: float) -> int:
+        """Drop tuples under ``key`` stored strictly before ``cutoff``."""
+        return self._delete(
+            "DELETE FROM records WHERE key = ? AND stored_at < ?", (key, cutoff)
+        )
+
+    def remove_published_before(self, cutoff: float) -> int:
+        """Drop every tuple published strictly before ``cutoff``.
+
+        An index range-scan on ``(pub_time, sequence)`` — no Python-side
+        bookkeeping is needed because the index *is* the expiry order.
+        """
+        return self._delete("DELETE FROM records WHERE pub_time < ?", (cutoff,))
+
+    def remove_sequenced_before(self, cutoff: float) -> int:
+        """Drop every tuple whose sequence number is strictly below ``cutoff``."""
+        return self._delete("DELETE FROM records WHERE sequence < ?", (cutoff,))
+
+    def remove_key(self, key: str) -> List[StoredTuple]:
+        """Remove and return every record stored under ``key`` (re-homing)."""
+        records = self.records_for_key(key)
+        if records:
+            self._delete("DELETE FROM records WHERE key = ?", (key,))
+        return records
+
+    def clear(self) -> None:
+        """Remove every stored tuple (does not reset cumulative counters)."""
+        self._pending.clear()
+        self._conn.execute("DELETE FROM records")
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record_from_row(row: TupleT) -> StoredTuple:
+        key, rel, sequence, pub_time, stored_at, publisher, payload = row
+        tup = Tuple(
+            relation=rel,
+            values=pickle.loads(payload),
+            pub_time=pub_time,
+            sequence=sequence,
+            publisher=publisher,
+        )
+        return StoredTuple(tuple=tup, key=key, stored_at=stored_at)
+
+    def _select_records(self, where: str, parameters: TupleT) -> List[StoredTuple]:
+        self.flush()
+        rows = self._conn.execute(
+            f"SELECT {_RECORD_COLUMNS} FROM records WHERE {where} "
+            "ORDER BY pub_time, sequence",
+            parameters,
+        )
+        return [self._record_from_row(row) for row in rows]
+
+    def tuples_for_key(self, key: str) -> List[Tuple]:
+        """The tuples stored under exactly ``key``, in publication order."""
+        return [record.tuple for record in self.records_for_key(key)]
+
+    def records_for_key(self, key: str) -> List[StoredTuple]:
+        """The stored records under exactly ``key``, in publication order."""
+        return self._select_records("key = ?", (key,))
+
+    def tuples_for_prefix(self, prefix: str) -> List[Tuple]:
+        """Tuples under any key starting with ``prefix`` (deduplicated, ordered).
+
+        Canonical attribute-level prefixes (``relation SEP attribute SEP``)
+        become an equality scan on the ``(relation, attribute, value)``
+        index; arbitrary prefixes fall back to a table scan.
+        """
+        bucket = bucket_of(prefix)
+        if bucket is not None and len(bucket) == len(prefix):
+            relation, attribute = prefix.split(SEPARATOR)[:2]
+            records = self._select_records(
+                "relation = ? AND attribute = ?", (relation, attribute)
+            )
+        else:
+            records = self._select_records(
+                "substr(key, 1, ?) = ?", (len(prefix), prefix)
+            )
+        # The SELECT already returns publication order; merge_records only
+        # contributes the identity deduplication here.
+        return merge_records([records])
+
+    def has_key(self, key: str) -> bool:
+        """Return whether any tuple is stored under ``key``."""
+        self.flush()
+        row = self._conn.execute(
+            "SELECT 1 FROM records WHERE key = ? LIMIT 1", (key,)
+        ).fetchone()
+        return row is not None
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of currently stored entries (across all keys); O(1)."""
+        return self._size
+
+    @property
+    def cumulative_stored(self) -> int:
+        """Total number of store operations performed over the node's lifetime."""
+        return self._stored_total
+
+    def keys(self) -> Iterable[str]:
+        """The indexing keys that currently hold tuples."""
+        self.flush()
+        return [
+            row[0]
+            for row in self._conn.execute("SELECT DISTINCT key FROM records")
+        ]
+
+    def __iter__(self) -> Iterator[StoredTuple]:
+        self.flush()
+        rows = self._conn.execute(
+            f"SELECT {_RECORD_COLUMNS} FROM records ORDER BY key, pub_time, sequence"
+        )
+        for row in rows:
+            yield self._record_from_row(row)
+
+    def distinct_tuples(self) -> int:
+        """Number of distinct publications currently stored at this node."""
+        self.flush()
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM (SELECT DISTINCT rel, sequence FROM records)"
+        ).fetchone()
+        return count
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying database connection."""
+        self._conn.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SqliteTupleStore(size={self._size}, pending={len(self._pending)})"

@@ -1,4 +1,4 @@
-"""Per-node local tuple storage.
+"""Per-node local tuple storage (the default ``memory`` backend).
 
 Every RJoin node stores tuples it receives *at the value level* so that
 rewritten queries arriving later can still be matched against them
@@ -11,7 +11,10 @@ maintains aggregate counters that feed the storage-load metric of the
 experimental section: the *storage load* of a node is the number of rewritten
 queries plus the number of tuples that the node has to store locally.
 
-Three auxiliary structures keep the hot paths off O(total-keys) scans:
+:class:`TupleStore` is one of several implementations of the
+:class:`~repro.data.backends.StoreBackend` contract (see
+:func:`repro.data.backends.make_store` for the registry).  Three auxiliary
+structures keep the hot paths off O(total-keys) scans:
 
 * a *prefix index* (``relation + attribute -> set of value keys``) so that
   attribute-level lookups (:meth:`TupleStore.tuples_for_prefix`) only touch
@@ -29,51 +32,23 @@ from __future__ import annotations
 import heapq
 import itertools
 from bisect import insort
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple as TupleT
+from typing import Dict, Iterable, Iterator, List, Set, Tuple as TupleT
 
+from repro.data.backends import (
+    SEPARATOR as _SEPARATOR,  # noqa: F401  (re-exported for compatibility)
+    StoreBackend,
+    StoredTuple,
+    bucket_of as _bucket_of,
+    merge_records,
+    record_order as _record_order,
+)
 from repro.data.tuples import Tuple
 
-_SEPARATOR = "\x1f"  # mirrors repro.core.keys: relation SEP attribute SEP value
+__all__ = ["StoredTuple", "TupleStore"]
 
 
-def _record_order(record: "StoredTuple") -> TupleT[float, int]:
-    """Publication order of a stored record."""
-    return (record.tuple.pub_time, record.tuple.sequence)
-
-
-def _bucket_of(key: str) -> Optional[str]:
-    """The ``relation SEP attribute SEP`` prefix of a value-level key.
-
-    Returns None for keys that do not carry two separator-delimited fields
-    (those are tracked in a fallback bucket and only reachable through the
-    slow scan path).
-    """
-    first = key.find(_SEPARATOR)
-    if first < 0:
-        return None
-    second = key.find(_SEPARATOR, first + 1)
-    if second < 0:
-        return None
-    return key[: second + 1]
-
-
-@dataclass
-class StoredTuple:
-    """A tuple held in a node-local store together with bookkeeping data."""
-
-    tuple: Tuple
-    key: str
-    stored_at: float
-
-    @property
-    def identity(self) -> TupleT[str, int]:
-        """Identity of the underlying published tuple."""
-        return self.tuple.identity
-
-
-class TupleStore:
-    """Key-addressed local storage for published tuples.
+class TupleStore(StoreBackend):
+    """Key-addressed in-memory storage for published tuples.
 
     The store intentionally keeps one entry per ``(key, tuple identity)``
     pair: the same publication indexed under two different keys at the same
@@ -81,6 +56,8 @@ class TupleStore:
     paper counts storage load, while lookups that span several keys can
     deduplicate through :meth:`tuples_for_prefix`.
     """
+
+    name = "memory"
 
     def __init__(self) -> None:
         self._by_key: Dict[str, List[StoredTuple]] = {}
@@ -311,27 +288,6 @@ class TupleStore:
         """The stored records under exactly ``key``, in publication order."""
         return list(self._by_key.get(key, []))
 
-    @staticmethod
-    def _merge_records(lists: List[List[StoredTuple]]) -> List[Tuple]:
-        """Dedup and order the records of several key lists by publication."""
-        if len(lists) == 1:
-            merged: Iterable[StoredTuple] = lists[0]
-        else:
-            combined: List[StoredTuple] = []
-            for records in lists:
-                combined.extend(records)
-            combined.sort(key=_record_order)
-            merged = combined
-        seen: Set[TupleT[str, int]] = set()
-        result: List[Tuple] = []
-        for record in merged:
-            identity = record.tuple.identity
-            if identity in seen:
-                continue
-            seen.add(identity)
-            result.append(record.tuple)
-        return result
-
     def tuples_for_prefix(self, prefix: str) -> List[Tuple]:
         """Return tuples stored under any key starting with ``prefix``.
 
@@ -352,7 +308,7 @@ class TupleStore:
             keys = self._keys_by_prefix.get(prefix)
             if not keys:
                 return []
-            result = self._merge_records([self._by_key[key] for key in keys])
+            result = merge_records([self._by_key[key] for key in keys])
             self._prefix_cache[prefix] = result
             return list(result)
         # Arbitrary prefix: fall back to scanning every key.
@@ -363,7 +319,7 @@ class TupleStore:
         ]
         if not lists:
             return []
-        return self._merge_records(lists)
+        return merge_records(lists)
 
     def has_key(self, key: str) -> bool:
         """Return whether any tuple is stored under ``key``."""

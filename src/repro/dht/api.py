@@ -18,7 +18,7 @@ the bounded-delay asynchronous model used by the formal analysis (Section 4).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.dht.chord import ChordNode, ChordRing
 from repro.errors import ConfigurationError, RoutingError

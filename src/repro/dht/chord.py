@@ -17,7 +17,7 @@ stability again before the next message is routed.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dht.hashing import IdentifierSpace
 from repro.dht.ring import RingMap

@@ -20,7 +20,7 @@ demonstrate that RJoin can exploit lower-level DHT optimisations unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, List, Mapping, Optional
 
 from repro.dht.chord import ChordNode, ChordRing
 from repro.errors import ConfigurationError

@@ -16,6 +16,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
+from repro.data.backends import BACKEND_NAMES, DEFAULT_BACKEND
 from repro.errors import ExperimentError
 from repro.sql.ast import WindowSpec
 
@@ -108,6 +109,9 @@ class ExperimentConfig:
     delay_jitter: float = 0.0
     #: Membership churn schedule (None: the ring is static for the whole run).
     churn: Optional[ChurnSpec] = None
+    #: Node-local tuple-store backend (``memory`` / ``sqlite`` /
+    #: ``append-log``) — the axis of the ``store-backends`` scenario.
+    store_backend: str = DEFAULT_BACKEND
     # Workload ---------------------------------------------------------------
     num_queries: int = 500
     num_tuples: int = 100
@@ -153,7 +157,7 @@ class ExperimentConfig:
             raise ExperimentError("experiments need at least two-way joins")
         if self.publish_mode not in ("per-tuple", "batch"):
             raise ExperimentError(
-                f"publish_mode must be 'per-tuple' or 'batch', "
+                "publish_mode must be 'per-tuple' or 'batch', "
                 f"got {self.publish_mode!r}"
             )
         if self.batch_size < 1:
@@ -164,6 +168,11 @@ class ExperimentConfig:
             raise ExperimentError("hop_delay and delay_jitter must be non-negative")
         if self.churn is not None and not isinstance(self.churn, ChurnSpec):
             raise ExperimentError("churn must be a ChurnSpec (or None)")
+        if self.store_backend not in BACKEND_NAMES:
+            known = ", ".join(BACKEND_NAMES)
+            raise ExperimentError(
+                f"unknown store backend {self.store_backend!r}; known: {known}"
+            )
         for checkpoint in self.checkpoints:
             if checkpoint <= 0 or checkpoint > self.num_tuples:
                 raise ExperimentError(

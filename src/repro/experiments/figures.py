@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.scenarios import get_scenario
-from repro.metrics.report import format_table, group_ranked, participation_count
+from repro.metrics.report import format_table, participation_count
 from repro.sql.ast import WindowSpec
 
 
@@ -112,7 +112,9 @@ def figure2(
             for c in x_values
         ]
     series["rjoin_ric_messages_per_node"] = [
-        experiments["rjoin"].checkpoint_delta(c, "ric_messages_per_node", since_warmup=True)
+        experiments["rjoin"].checkpoint_delta(
+            c, "ric_messages_per_node", since_warmup=True
+        )
         for c in x_values
     ]
     return FigureResult(
@@ -497,7 +499,9 @@ def figure9(
     if num_tuples is not None:
         base = base.with_overrides(num_tuples=num_tuples)
 
-    without = run_experiment(base.with_overrides(name="fig9-without", id_movement=False))
+    without = run_experiment(
+        base.with_overrides(name="fig9-without", id_movement=False)
+    )
     with_movement = run_experiment(
         base.with_overrides(name="fig9-with", id_movement=True)
     )

@@ -85,7 +85,8 @@ class CellOutcome:
 
     @property
     def derived(self) -> Dict[str, float]:
-        return dict(self.payload["result"].get("derived", {}))  # type: ignore[union-attr]
+        derived = self.payload["result"].get("derived", {})  # type: ignore[index]
+        return dict(derived)
 
 
 @dataclass

@@ -136,6 +136,7 @@ def build_engine(config: ExperimentConfig) -> RJoinEngine:
     rj_config = RJoinConfig(
         num_nodes=config.num_nodes,
         strategy=config.strategy,
+        store_backend=config.store_backend,
         seed=config.seed,
         id_movement=config.id_movement,
         hop_delay=config.hop_delay,
@@ -214,7 +215,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     def _dispatch_churn(index: int) -> None:
         nonlocal churn_cursor
         spec = config.churn
-        while churn_cursor < len(churn_schedule) and churn_schedule[churn_cursor][0] <= index:
+        while (
+            churn_cursor < len(churn_schedule)
+            and churn_schedule[churn_cursor][0] <= index
+        ):
             _, kind = churn_schedule[churn_cursor]
             churn_cursor += 1
             engine.schedule_membership_op(

@@ -12,9 +12,9 @@ runner (``repro.experiments.parallel``) and the CLI
 Two groups of scenarios ship by default:
 
 * the exploratory grid of the ROADMAP — ``baseline``, ``skew-sweep``,
-  ``window-churn``, ``bursty``, ``query-flood``, ``hot-key``, ``node-churn``
-  and ``latency`` — stressing the system along axes the paper's Section 8
-  only touches implicitly, and
+  ``window-churn``, ``bursty``, ``query-flood``, ``hot-key``, ``node-churn``,
+  ``latency`` and ``store-backends`` — stressing the system along axes the
+  paper's Section 8 only touches implicitly, and
 * one scenario per paper figure (``fig2`` … ``fig9``) so that the figure
   functions are thin consumers of the registry.
 
@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.data.backends import BACKEND_NAMES
 from repro.errors import ExperimentError
 from repro.experiments.config import ChurnSpec, ExperimentConfig, is_full_scale
 from repro.sql.ast import WindowSpec
@@ -198,7 +199,9 @@ def _sweep(
         overrides = {parameter: value}
         if extra:
             overrides.update(extra)
-        variants.append(Variant(label=f"{label or parameter}={value}", overrides=overrides))
+        variants.append(
+            Variant(label=f"{label or parameter}={value}", overrides=overrides)
+        )
     return tuple(variants)
 
 
@@ -410,6 +413,41 @@ register(
                 },
             ),
         ),
+    )
+)
+
+def _backend_variants(window_size: int) -> Tuple[Variant, ...]:
+    """One variant per registered tuple-store backend, under one GC window."""
+    window = WindowSpec(size=float(window_size), mode="tuples")
+    return tuple(
+        Variant(
+            label=backend,
+            overrides={"store_backend": backend, "window": window},
+        )
+        for backend in BACKEND_NAMES
+    )
+
+
+register(
+    Scenario(
+        name="store-backends",
+        description=(
+            "window-churn-style GC pressure replayed across the pluggable "
+            "tuple-store backends (memory / sqlite / append-log): same "
+            "workload, same sliding window, different storage engines — "
+            "answers must be identical, storage and wall-clock differ."
+        ),
+        axis="store_backend",
+        default_base=ExperimentConfig(
+            name="store-backends",
+            num_nodes=60,
+            num_queries=100,
+            num_tuples=120,
+            warmup_tuples=20,
+        ),
+        default_variants=_backend_variants(window_size=25),
+        paper_base=ExperimentConfig.paper_scale(name="store-backends"),
+        paper_variants=_backend_variants(window_size=100),
     )
 )
 

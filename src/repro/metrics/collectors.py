@@ -17,8 +17,8 @@ state reduction the paper credits windows for.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ paper reports.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 
 def ranked_distribution(values: Iterable[float]) -> List[float]:
@@ -96,7 +96,9 @@ def format_table(
     return "\n".join(lines)
 
 
-def series_summary(series: Mapping[str, Sequence[float]]) -> Dict[str, Dict[str, float]]:
+def series_summary(
+    series: Mapping[str, Sequence[float]],
+) -> Dict[str, Dict[str, float]]:
     """Summarise named series with min/max/mean (used in EXPERIMENTS.md tables)."""
     summary: Dict[str, Dict[str, float]] = {}
     for name, values in series.items():

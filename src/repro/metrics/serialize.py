@@ -16,13 +16,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import fields
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.experiments.config import ChurnSpec, ExperimentConfig
 from repro.experiments.runner import ExperimentResult
 from repro.sql.ast import WindowSpec
 
-RESULT_SCHEMA_VERSION = 2
+#: v3: ``ExperimentConfig.store_backend`` joined the config schema (pluggable
+#: tuple-store backends); checkpoints written under v2 are recomputed.
+RESULT_SCHEMA_VERSION = 3
 
 
 # ---------------------------------------------------------------------------
@@ -141,18 +143,26 @@ def result_from_dict(data: Mapping[str, object]) -> ExperimentResult:
         warmup_baseline=dict(data.get("warmup_baseline", {})),  # type: ignore[arg-type]
         messages_total=int(data["messages_total"]),  # type: ignore[arg-type]
         ric_messages_total=int(data["ric_messages_total"]),  # type: ignore[arg-type]
-        messages_tuple_phase=int(data["messages_tuple_phase"]),  # type: ignore[arg-type]
-        ric_messages_tuple_phase=int(data["ric_messages_tuple_phase"]),  # type: ignore[arg-type]
+        messages_tuple_phase=int(
+            data["messages_tuple_phase"]  # type: ignore[arg-type]
+        ),
+        ric_messages_tuple_phase=int(
+            data["ric_messages_tuple_phase"]  # type: ignore[arg-type]
+        ),
         ranked_qpl=list(data.get("ranked_qpl", [])),  # type: ignore[arg-type]
         ranked_storage=list(data.get("ranked_storage", [])),  # type: ignore[arg-type]
-        ranked_storage_current=list(data.get("ranked_storage_current", [])),  # type: ignore[arg-type]
+        ranked_storage_current=list(
+            data.get("ranked_storage_current", [])  # type: ignore[arg-type]
+        ),
         ranked_traffic=list(data.get("ranked_traffic", [])),  # type: ignore[arg-type]
         checkpoints={
             int(index): dict(snapshot)
             for index, snapshot in dict(data.get("checkpoints", {})).items()
         },
         cumulative_qpl=list(data.get("cumulative_qpl", [])),  # type: ignore[arg-type]
-        cumulative_storage=list(data.get("cumulative_storage", [])),  # type: ignore[arg-type]
+        cumulative_storage=list(
+            data.get("cumulative_storage", [])  # type: ignore[arg-type]
+        ),
         answers=int(data.get("answers", 0)),  # type: ignore[arg-type]
     )
 

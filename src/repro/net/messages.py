@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Optional, Tuple
 
 _MESSAGE_COUNTER = itertools.count(1)
 

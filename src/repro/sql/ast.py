@@ -21,8 +21,8 @@ Queries are immutable.  The rewriting step of RJoin (Section 3) produces a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Optional, Tuple, Union
 
 from repro.data.schema import AttributeRef, Catalog
 from repro.errors import UnsupportedQueryError
@@ -234,7 +234,8 @@ class Query:
             raise UnsupportedQueryError(
                 "answer_values() requires a complete (fully rewritten) query"
             )
-        return tuple(item.value for item in self.select_items)  # type: ignore[union-attr]
+        values = (item.value for item in self.select_items)  # type: ignore[union-attr]
+        return tuple(values)
 
     # ------------------------------------------------------------------
     # validation

@@ -29,7 +29,8 @@ def _format_operand(operand: Union[AttributeRef, Constant]) -> str:
 def _format_predicate(pred: Union[JoinPredicate, SelectionPredicate]) -> str:
     if isinstance(pred, JoinPredicate):
         return f"{_format_operand(pred.left)} = {_format_operand(pred.right)}"
-    return f"{_format_operand(pred.attribute)} = {_format_operand(Constant(pred.value))}"
+    operand = _format_operand(Constant(pred.value))
+    return f"{_format_operand(pred.attribute)} = {operand}"
 
 
 def format_query(query: Query) -> str:

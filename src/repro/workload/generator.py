@@ -15,8 +15,8 @@ property-based comparison against the reference engine reproducible.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple as TupleT
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple as TupleT
 
 from repro.data.schema import AttributeRef, Catalog
 from repro.errors import ConfigurationError

@@ -3,7 +3,6 @@
 from repro.core.keys import (
     ATTRIBUTE_LEVEL,
     VALUE_LEVEL,
-    IndexKey,
     attribute_key,
     attribute_prefix,
     tuple_index_keys,

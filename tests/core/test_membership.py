@@ -15,7 +15,7 @@ import pytest
 
 from repro.core.config import RJoinConfig
 from repro.core.engine import RJoinEngine
-from repro.core.membership import MembershipManager, estimate_item_bytes
+from repro.core.membership import estimate_item_bytes
 from repro.core.node import RehomedItem
 from repro.core.reference import ReferenceEngine
 from repro.errors import DuplicateNodeError, EngineError

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.rewriting import DEAD, rewrite_chain, rewrite_query
-from repro.data.schema import AttributeRef, Catalog, RelationSchema
+from repro.data.schema import AttributeRef, Catalog
 from repro.data.tuples import Tuple
 from repro.errors import RewriteError
 from repro.sql.ast import Constant

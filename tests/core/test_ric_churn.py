@@ -1,0 +1,127 @@
+"""Churn-aware RIC: eager candidate-table invalidation on departures.
+
+Candidate-table entries pointing at a departed node used to be rejected only
+*lazily* — by the ownership check in ``RJoinNode._send_query`` at the moment
+a one-hop shortcut was attempted.  Membership events now invalidate those
+entries eagerly, and every node counts the stale one-hop attempts that slip
+through (``RJoinNode.stale_one_hop_attempts``) as the regression probe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RJoinConfig
+from repro.core.engine import RJoinEngine
+from repro.core.keys import attribute_key
+from repro.core.protocol import QueryState
+from repro.core.ric import CandidateTable, RicEntry
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+
+def entry(key_text: str, address: str, observed_at: float = 0.0) -> RicEntry:
+    return RicEntry(
+        key_text=key_text, rate=1.0, address=address, observed_at=observed_at
+    )
+
+
+class TestCandidateTableInvalidation:
+    def test_invalidate_address_removes_only_matching_entries(self):
+        table = CandidateTable()
+        table.update(entry("k1", "node-1"))
+        table.update(entry("k2", "node-2"))
+        table.update(entry("k3", "node-1"))
+        assert table.invalidate_address("node-1") == 2
+        assert len(table) == 1
+        assert table.lookup("k2", now=0.0) is not None
+        assert table.lookup("k1", now=0.0) is None
+        assert table.invalidate_address("node-1") == 0
+
+
+def build_busy_engine(num_nodes: int = 16, seed: int = 5):
+    """An engine whose candidate tables are warm (RIC strategy, traffic run)."""
+    spec = WorkloadSpec(
+        num_relations=4,
+        attributes_per_relation=3,
+        value_domain=4,
+        join_arity=3,
+        seed=seed,
+    )
+    generator = WorkloadGenerator(spec)
+    engine = RJoinEngine(RJoinConfig(num_nodes=num_nodes, strategy="rjoin", seed=seed))
+    engine.register_catalog(generator.catalog)
+    for query in generator.generate_queries(8):
+        engine.submit(query)
+    for generated in generator.generate_tuples(30):
+        engine.publish(generated.relation, generated.values)
+    return engine, generator
+
+
+def total_stale_attempts(engine: RJoinEngine) -> int:
+    return sum(node.stale_one_hop_attempts for node in engine.nodes.values())
+
+
+def cached_addresses(engine: RJoinEngine) -> set:
+    return {
+        cached.address
+        for node in engine.nodes.values()
+        for cached in node.candidate_table._entries.values()
+    }
+
+
+class TestEagerInvalidationOnMembership:
+    @pytest.mark.parametrize("departure", ["leave", "crash"])
+    def test_departure_purges_candidate_tables(self, departure):
+        engine, generator = build_busy_engine()
+        assert cached_addresses(engine), "warm-up left no RIC state to test"
+        victim = "node-4"
+        if departure == "leave":
+            engine.remove_node(victim, graceful=True)
+        else:
+            engine.crash_node(victim)
+        assert victim not in cached_addresses(engine)
+
+    @pytest.mark.parametrize("departure", ["leave", "crash"])
+    def test_no_stale_one_hop_attempts_after_departures(self, departure):
+        """Regression: traffic after a departure never hits a stale address."""
+        engine, generator = build_busy_engine()
+        for victim in ("node-2", "node-9"):
+            if departure == "leave":
+                engine.remove_node(victim, graceful=True)
+            else:
+                engine.crash_node(victim)
+        for query in generator.generate_queries(6):
+            engine.submit(query)
+        for generated in generator.generate_tuples(40):
+            engine.publish(generated.relation, generated.values)
+        assert total_stale_attempts(engine) == 0
+        assert engine.metrics_summary()["stale_one_hop_attempts"] == 0.0
+
+    def test_counter_detects_surviving_stale_entry(self):
+        """The probe itself works: a stale one-hop address is counted.
+
+        Bypasses the eager invalidation by sending with an explicit
+        ``known_address`` of a departed node — exactly the situation the
+        lazy ownership check used to absorb silently.
+        """
+        engine, generator = build_busy_engine()
+        victim = engine.crash_node("node-4")
+        sender = engine.nodes["node-1"]
+        query = next(iter(generator.generate_queries(1)))
+        state = QueryState(
+            query_id="probe#1",
+            owner="node-1",
+            query=query.validate(engine.catalog),
+            insertion_time=engine.now,
+            is_input=True,
+        )
+        relation = query.relations[0]
+        key = attribute_key(relation, engine.catalog.get(relation).attributes[0])
+        sender._send_query(state, is_input=True, key=key, known_address=victim)
+        engine.run()
+        assert sender.stale_one_hop_attempts == 1
+        assert engine.metrics_summary()["stale_one_hop_attempts"] == 1.0
+        # The engine-wide counter is monotone: attempts recorded by a node
+        # that itself departs later must not vanish from the metric.
+        engine.crash_node("node-1")
+        assert engine.metrics_summary()["stale_one_hop_attempts"] == 1.0

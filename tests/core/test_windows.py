@@ -1,6 +1,5 @@
 """Tests for sliding-window validity and garbage collection."""
 
-import pytest
 
 from repro.core.windows import (
     WindowState,

@@ -1,9 +1,7 @@
 """Tests for the ``python -m repro.experiments`` CLI."""
 
 import io
-import json
 
-import pytest
 
 from repro.experiments.cli import main
 

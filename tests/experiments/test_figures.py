@@ -1,6 +1,5 @@
 """Smoke tests for the figure harness (tiny overrides, qualitative assertions)."""
 
-import pytest
 
 from repro.experiments.figures import (
     figure2,

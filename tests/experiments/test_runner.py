@@ -1,6 +1,5 @@
 """Tests for the experiment runner (on deliberately tiny workloads)."""
 
-import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import build_engine, build_workload, run_experiment

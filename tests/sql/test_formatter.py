@@ -3,7 +3,7 @@
 import pytest
 
 from repro.data.schema import AttributeRef
-from repro.sql.ast import Constant, Query, SelectionPredicate, WindowSpec
+from repro.sql.ast import Constant, Query, SelectionPredicate
 from repro.sql.formatter import format_query
 from repro.sql.parser import parse_query
 

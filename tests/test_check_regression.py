@@ -1,0 +1,166 @@
+"""Unit tests for the benchmark regression gate (benchmarks/check_regression.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+_MODULE_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+)
+spec = importlib.util.spec_from_file_location("check_regression", _MODULE_PATH)
+check_regression = importlib.util.module_from_spec(spec)
+# dataclass creation resolves cls.__module__ through sys.modules.
+sys.modules[spec.name] = check_regression
+spec.loader.exec_module(check_regression)
+
+RateSample = check_regression.RateSample
+
+
+SAMPLE_REPORT = {
+    "smoke": False,
+    "parameters": {"tuples": 100},
+    "results": [
+        {
+            "backend": "memory",
+            "ops_per_sec": {"add": 1000.0, "window_gc": 50.0},
+            "seconds": {"add": 0.1},
+        },
+        {
+            "backend": "sqlite",
+            "ops_per_sec": {"add": 800.0},
+            "seconds": 0.25,
+            "residual_records": 7,
+        },
+    ],
+    "events_per_second": 12.5,
+    "baseline_ops_per_sec": {"add": 999999.0},
+}
+
+
+class TestCollectRates:
+    def test_finds_only_rate_keys_with_stable_paths(self):
+        rates = check_regression.collect_rates(SAMPLE_REPORT)
+        assert rates == {
+            "/results/memory/ops_per_sec/add": RateSample(1000.0, window=0.1),
+            "/results/memory/ops_per_sec/window_gc": RateSample(50.0, window=None),
+            "/results/sqlite/ops_per_sec/add": RateSample(800.0, window=0.25),
+            "/events_per_second": RateSample(12.5, window=None),
+        }
+
+    def test_recorded_baselines_inside_reports_are_excluded(self):
+        rates = check_regression.collect_rates(SAMPLE_REPORT)
+        assert not any("baseline" in path for path in rates)
+
+
+class TestCompareReports:
+    def _compare(self, baseline, candidate, threshold=0.30, min_window=0.0):
+        return check_regression.compare_reports(
+            baseline, candidate, threshold, min_window
+        )
+
+    def test_within_threshold_passes(self):
+        problems, skipped = self._compare(
+            {"/a": RateSample(100.0)}, {"/a": RateSample(71.0)}
+        )
+        assert problems == [] and skipped == []
+
+    def test_regression_beyond_threshold_fails(self):
+        problems, _ = self._compare(
+            {"/a": RateSample(100.0)}, {"/a": RateSample(69.0)}
+        )
+        assert len(problems) == 1
+        assert "31.0% below" in problems[0]
+
+    def test_missing_candidate_rate_fails(self):
+        problems, _ = self._compare({"/a": RateSample(100.0)}, {})
+        assert problems == ["/a: rate missing from candidate report"]
+
+    def test_new_candidate_rates_do_not_fail(self):
+        problems, _ = self._compare(
+            {"/a": RateSample(100.0)},
+            {"/a": RateSample(100.0), "/b": RateSample(5.0)},
+        )
+        assert problems == []
+
+    def test_improvements_pass(self):
+        problems, _ = self._compare(
+            {"/a": RateSample(100.0)}, {"/a": RateSample(500.0)}
+        )
+        assert problems == []
+
+    def test_short_window_rates_are_skipped_not_gated(self):
+        """A huge 'regression' on a sub-floor window is noise, not a failure."""
+        problems, skipped = self._compare(
+            {"/a": RateSample(100.0, window=0.001)},
+            {"/a": RateSample(1.0, window=0.001)},
+            min_window=0.02,
+        )
+        assert problems == []
+        assert len(skipped) == 1 and "not gated" in skipped[0]
+
+    def test_unknown_window_rates_are_still_gated(self):
+        problems, skipped = self._compare(
+            {"/a": RateSample(100.0)}, {"/a": RateSample(1.0)}, min_window=0.02
+        )
+        assert len(problems) == 1 and skipped == []
+
+
+class TestCheckDirectories:
+    def _write(self, directory: Path, name: str, rate: float, seconds=1.0) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(
+            json.dumps(
+                {
+                    "results": [
+                        {
+                            "backend": "memory",
+                            "ops_per_sec": {"add": rate},
+                            "seconds": seconds,
+                        }
+                    ]
+                }
+            )
+        )
+
+    def test_passing_directories(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", 100.0)
+        self._write(tmp_path / "cand", "BENCH_x.json", 95.0)
+        code = check_regression.check_directories(
+            tmp_path / "base", tmp_path / "cand", 0.30
+        )
+        assert code == 0
+
+    def test_regressed_directories(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", 100.0)
+        self._write(tmp_path / "cand", "BENCH_x.json", 10.0)
+        code = check_regression.check_directories(
+            tmp_path / "base", tmp_path / "cand", 0.30
+        )
+        assert code == 1
+
+    def test_short_windows_do_not_fail_the_gate(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", 100.0, seconds=0.001)
+        self._write(tmp_path / "cand", "BENCH_x.json", 10.0, seconds=0.001)
+        code = check_regression.check_directories(
+            tmp_path / "base", tmp_path / "cand", 0.30, min_window=0.02
+        )
+        assert code == 0
+
+    def test_missing_candidate_report(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", 100.0)
+        (tmp_path / "cand").mkdir()
+        code = check_regression.check_directories(
+            tmp_path / "base", tmp_path / "cand", 0.30
+        )
+        assert code == 1
+
+    def test_empty_baseline_directory_is_an_error(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "cand").mkdir()
+        code = check_regression.check_directories(
+            tmp_path / "base", tmp_path / "cand", 0.30
+        )
+        assert code == 2
