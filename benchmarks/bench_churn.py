@@ -60,7 +60,9 @@ def _build_engine(nodes: int, queries: int, tuples: int, seed: int = 7) -> RJoin
     return engine
 
 
-def _measure(kind: str, nodes: int, queries: int, tuples: int, events: int) -> Dict[str, object]:
+def _measure(
+    kind: str, nodes: int, queries: int, tuples: int, events: int
+) -> Dict[str, object]:
     """Time ``events`` membership events of one kind on a fresh engine."""
     engine = _build_engine(nodes, queries, tuples)
     before_events = engine.churn.total_events
@@ -99,7 +101,9 @@ def run_bench(smoke: bool = False, **overrides) -> Dict[str, object]:
     sizes = dict(SMOKE_SIZES if smoke else DEFAULT_SIZES)
     sizes.update({k: v for k, v in overrides.items() if v is not None})
     results: List[Dict[str, object]] = [
-        _measure(kind, sizes["nodes"], sizes["queries"], sizes["tuples"], sizes["events"])
+        _measure(
+            kind, sizes["nodes"], sizes["queries"], sizes["tuples"], sizes["events"]
+        )
         for kind in ("join", "leave", "crash")
     ]
     return {"smoke": smoke, "sizes": sizes, "results": results}
@@ -107,7 +111,9 @@ def run_bench(smoke: bool = False, **overrides) -> Dict[str, object]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true", help="tiny sizes (correctness sweep only)")
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes (correctness sweep only)"
+    )
     parser.add_argument("--events", type=int, default=None)
     parser.add_argument("--nodes", type=int, default=None)
     parser.add_argument("--queries", type=int, default=None)

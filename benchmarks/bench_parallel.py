@@ -120,7 +120,9 @@ def run_bench(
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true", help="tiny sizes (correctness sweep only)")
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes (correctness sweep only)"
+    )
     parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
     parser.add_argument("--scenario", default=DEFAULT_SCENARIO)
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)

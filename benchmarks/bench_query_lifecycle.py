@@ -1,0 +1,196 @@
+"""Query-lifecycle cost: removal vs query count, failover re-registration.
+
+Two suites, recorded in ``benchmarks/BENCH_query_lifecycle.json``:
+
+* **remove** — builds a warmed-up engine per population size (queries
+  indexed, tuples stored), then retracts a fixed batch of queries and
+  records wall-clock per removal plus the records each retraction purged.
+  Removal walks every node's query tables, so the per-removal cost grows
+  with the indexed population — the sweep makes that visible.
+* **failover** — builds a warmed-up engine, then repeatedly crashes the
+  owner of a live query handle and records wall-clock per failover and
+  re-registrations per crash (handle adoption by the ring successor plus
+  replica repair).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_query_lifecycle.py [--smoke]
+        [--removals N] [--crashes N] [--nodes N] [--tuples N]
+
+``--smoke`` shrinks everything to a correctness sweep (used by
+``run_all.py`` / the ``bench_smoke`` marker).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.config import RJoinConfig
+from repro.core.engine import RJoinEngine
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_query_lifecycle.json"
+
+DEFAULT_SIZES = {
+    "nodes": 48,
+    "tuples": 200,
+    "query_counts": (100, 200, 400),
+    "removals": 40,
+    "crashes": 12,
+}
+SMOKE_SIZES = {
+    "nodes": 12,
+    "tuples": 20,
+    "query_counts": (8,),
+    "removals": 3,
+    "crashes": 2,
+}
+
+
+def _build_engine(nodes: int, queries: int, tuples: int, seed: int = 9):
+    """A warmed-up engine plus its handles, in submission order."""
+    spec = WorkloadSpec(
+        num_relations=6,
+        attributes_per_relation=4,
+        value_domain=20,
+        join_arity=3,
+        seed=seed,
+    )
+    generator = WorkloadGenerator(spec)
+    engine = RJoinEngine(RJoinConfig(num_nodes=nodes, seed=seed))
+    engine.register_catalog(generator.catalog)
+    handles = []
+    for query in generator.generate_queries(queries):
+        handles.append(engine.submit(query, process=False))
+    engine.run()
+    for generated in generator.generate_tuples(tuples):
+        engine.publish(generated.relation, generated.values, process=False)
+    engine.run()
+    return engine, handles
+
+
+def _measure_removal(
+    nodes: int, queries: int, tuples: int, removals: int
+) -> Dict[str, object]:
+    """Time ``removals`` retractions against a ``queries``-strong population."""
+    engine, handles = _build_engine(nodes, queries, tuples)
+    removals = min(removals, len(handles))
+    started = time.perf_counter()
+    for handle in handles[:removals]:
+        engine.remove_query(handle.query_id)
+    elapsed = time.perf_counter() - started
+    per_removal = elapsed / removals if removals else 0.0
+    return {
+        "name": f"remove-q{queries}",
+        "queries": queries,
+        "removals": removals,
+        "seconds": elapsed,
+        "seconds_per_removal": per_removal,
+        "removals_per_second": (1.0 / per_removal) if per_removal else 0.0,
+        "records_retracted": engine.churn.records_retracted,
+        "records_vacuumed": engine.churn.records_vacuumed,
+        "orphaned_state_records": engine.churn.orphaned_state_records,
+    }
+
+
+def _measure_failover(
+    nodes: int, queries: int, tuples: int, crashes: int
+) -> Dict[str, object]:
+    """Time ``crashes`` owner crashes (failover + replica repair) each."""
+    engine, handles = _build_engine(nodes, queries, tuples)
+    performed = 0
+    started = time.perf_counter()
+    for handle in handles:
+        if performed >= crashes or len(engine.ring) <= 2:
+            break
+        if handle.owner not in engine.nodes:
+            continue  # already failed over to another crashed owner's heir
+        engine.crash_node(handle.owner)
+        performed += 1
+    elapsed = time.perf_counter() - started
+    per_crash = elapsed / performed if performed else 0.0
+    stats = engine.churn
+    return {
+        "name": f"failover-q{queries}",
+        "queries": queries,
+        "crashes": performed,
+        "seconds": elapsed,
+        "seconds_per_crash": per_crash,
+        "failovers_per_second": (1.0 / per_crash) if per_crash else 0.0,
+        "failover_reregistrations": stats.failover_reregistrations,
+        "answers_rerouted": stats.answers_rerouted,
+        "reregistrations_per_crash": (
+            stats.failover_reregistrations / performed if performed else 0.0
+        ),
+    }
+
+
+def run_bench(smoke: bool = False, **overrides) -> Dict[str, object]:
+    """Measure removal and failover cost across the query-count sweep."""
+    sizes = dict(SMOKE_SIZES if smoke else DEFAULT_SIZES)
+    sizes.update({k: v for k, v in overrides.items() if v is not None})
+    results: List[Dict[str, object]] = []
+    for queries in sizes["query_counts"]:
+        results.append(
+            _measure_removal(
+                sizes["nodes"], queries, sizes["tuples"], sizes["removals"]
+            )
+        )
+    results.append(
+        _measure_failover(
+            sizes["nodes"],
+            max(sizes["query_counts"]),
+            sizes["tuples"],
+            sizes["crashes"],
+        )
+    )
+    sizes["query_counts"] = list(sizes["query_counts"])
+    return {"smoke": smoke, "sizes": sizes, "results": results}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes (correctness sweep only)",
+    )
+    parser.add_argument("--removals", type=int, default=None)
+    parser.add_argument("--crashes", type=int, default=None)
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--tuples", type=int, default=None)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    report = run_bench(
+        smoke=args.smoke,
+        removals=args.removals,
+        crashes=args.crashes,
+        nodes=args.nodes,
+        tuples=args.tuples,
+    )
+    for row in report["results"]:
+        if str(row["name"]).startswith("remove"):
+            print(
+                f"remove   (Q={row['queries']:4d}): {row['removals']} removals, "
+                f"{row['seconds_per_removal'] * 1000:.2f} ms/removal, "
+                f"{row['records_retracted']} records retracted"
+            )
+        else:
+            print(
+                f"failover (Q={row['queries']:4d}): {row['crashes']} crashes, "
+                f"{row['seconds_per_crash'] * 1000:.2f} ms/crash, "
+                f"{row['reregistrations_per_crash']:.1f} reregistrations/crash"
+            )
+    if not args.smoke:
+        args.output.write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -173,7 +173,9 @@ def run_bench(smoke: bool = False, **overrides) -> Dict[str, object]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true", help="tiny sizes (correctness sweep only)")
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes (correctness sweep only)"
+    )
     parser.add_argument("--tuples", type=int, default=None)
     parser.add_argument("--lookups", type=int, default=None)
     parser.add_argument("--gc-ticks", dest="gc_ticks", type=int, default=None)

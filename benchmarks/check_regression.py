@@ -206,19 +206,27 @@ def check_directories(
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--baseline", type=Path, required=True,
+        "--baseline",
+        type=Path,
+        required=True,
         help="directory of committed BENCH_*.json baselines",
     )
     parser.add_argument(
-        "--candidate", type=Path, required=True,
+        "--candidate",
+        type=Path,
+        required=True,
         help="directory of freshly written BENCH_*.json reports",
     )
     parser.add_argument(
-        "--threshold", type=float, default=0.30,
+        "--threshold",
+        type=float,
+        default=0.30,
         help="maximum tolerated fractional drop of any rate (default 0.30)",
     )
     parser.add_argument(
-        "--min-seconds", type=float, default=0.02,
+        "--min-seconds",
+        type=float,
+        default=0.02,
         help="minimum timing window (s) for a rate to be gated (default 0.02)",
     )
     args = parser.parse_args(argv)

@@ -105,6 +105,12 @@ SMOKE_SUITES: List[
         lambda module: module.run_bench(smoke=False),
         lambda report: f"{len(report['results'])} backends",
     ),
+    (
+        "bench_query_lifecycle",
+        lambda module: module.run_bench(smoke=True),
+        lambda module: module.run_bench(smoke=False),
+        lambda report: f"{len(report['results'])} lifecycle suites",
+    ),
 ]
 
 
@@ -163,7 +169,9 @@ def run_all(verbose: bool = True, reports_dir: "str | None" = None) -> List[str]
 def main(argv: "List[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--write-reports", metavar="DIR", default=None,
+        "--write-reports",
+        metavar="DIR",
+        default=None,
         help="write the smoke-sized BENCH_*.json reports into DIR",
     )
     args = parser.parse_args(argv)

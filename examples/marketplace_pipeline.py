@@ -89,7 +89,8 @@ def main() -> None:
           f"peak storage {before} -> {after} items")
 
     summary = engine.metrics_summary()
-    print(f"participating nodes: {summary['participating_nodes']:g} / {summary['nodes']:g}")
+    participating = summary["participating_nodes"]
+    print(f"participating nodes: {participating:g} / {summary['nodes']:g}")
 
 
 if __name__ == "__main__":

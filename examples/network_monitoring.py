@@ -82,9 +82,8 @@ def main() -> None:
             if choice == "alerts":
                 events.append(("alerts", (rng.choice(hosts), rng.choice(kinds))))
             elif choice == "flows":
-                events.append(
-                    ("flows", (rng.choice(hosts), rng.choice(hosts), rng.randint(1_000, 50_000)))
-                )
+                src, dst = rng.choice(hosts), rng.choice(hosts)
+                events.append(("flows", (src, dst, rng.randint(1_000, 50_000))))
             else:
                 events.append(("logins", (rng.choice(hosts), rng.choice(users))))
 

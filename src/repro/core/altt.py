@@ -111,6 +111,34 @@ class AttributeLevelTupleTable:
         self._size -= removed
         return removed
 
+    def remove_published_before(self, cutoff: float) -> int:
+        """Drop entries whose tuple was *published* strictly before ``cutoff``.
+
+        The query-lifecycle vacuum: once no active query remains, any future
+        query's insertion time is at or after the current clock, so retained
+        tuples published before it can never satisfy the trigger condition
+        ``pubT(t) >= insT(q)`` again.  Filters on publication time (unlike
+        :meth:`expire`, which works on reception time); stale expiry-heap
+        entries for removed tuples pop harmlessly later.  Returns the number
+        of removed entries.
+        """
+        removed = 0
+        for key in list(self._by_key):
+            entries = self._by_key[key]
+            kept = [
+                entry for entry in entries if entry.tuple.pub_time >= cutoff
+            ]
+            if len(kept) == len(entries):
+                continue
+            removed += len(entries) - len(kept)
+            if kept:
+                self._by_key[key] = kept
+            else:
+                del self._by_key[key]
+                self._unsorted_keys.discard(key)
+        self._size -= removed
+        return removed
+
     def pop_key(self, key_text: str) -> List[TupleT[Tuple, float]]:
         """Remove every entry under ``key_text``; returns ``(tuple, received_at)`` pairs.
 

@@ -65,6 +65,13 @@ class RJoinConfig:
     gc_every_tuples:
         How often (in published tuples) the engine sweeps stores for
         window-expired state.
+    owner_failover:
+        Whether every submitted query's handle registration (owner address
+        plus answer watermark) is replicated onto the owner's ring
+        successor, so that an owner departure re-registers the query on the
+        survivor and its answers keep flowing instead of being dropped (the
+        query lifecycle subsystem).  Disabling restores the pre-lifecycle
+        behaviour: answers routed to a departed owner are lost.
     id_movement:
         Enables the lower-layer id-movement load balancing (Figure 9).
     rebalance_every_tuples:
@@ -93,6 +100,7 @@ class RJoinConfig:
     ric_freshness: Optional[float] = None
     tuple_gc_window: Optional[WindowSpec] = None
     gc_every_tuples: int = 50
+    owner_failover: bool = True
     id_movement: bool = False
     rebalance_every_tuples: int = 100
     light_load_factor: float = 0.5

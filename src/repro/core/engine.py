@@ -8,6 +8,8 @@ the answer registry.  Library users interact with three operations:
 * :meth:`RJoinEngine.submit` — register a continuous query (SQL text or a
   parsed :class:`~repro.sql.ast.Query`) and obtain a
   :class:`~repro.core.answers.QueryHandle` that accumulates its answers,
+* :meth:`RJoinEngine.remove_query` — retract a previously submitted query,
+  deleting its state on every node (see :mod:`repro.core.lifecycle`),
 * :meth:`RJoinEngine.publish` — insert a tuple into the network,
 * :meth:`RJoinEngine.run` — drain the simulated network (deliver every
   pending message).
@@ -26,9 +28,10 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 from repro.core.answers import Answer, QueryHandle
 from repro.core.config import RJoinConfig
 from repro.core.keys import tuple_index_keys
+from repro.core.lifecycle import QueryLifecycleManager
 from repro.core.membership import MembershipManager
 from repro.core.node import NodeContext, RJoinNode
-from repro.core.protocol import AnswerMessage, QueryState
+from repro.core.protocol import AnswerMessage, QueryState, RetractQueryMessage
 from repro.core.strategy import IndexingStrategy, make_strategy
 from repro.data.schema import Catalog, RelationSchema
 from repro.data.tuples import Tuple
@@ -105,6 +108,14 @@ class RJoinEngine:
             collect_answer=self._collect_answer,
             altt_delta=altt_delta,
             store_backend=self.config.store_backend,
+            # Lifecycle callbacks resolve ``self.lifecycle`` / ``self.churn``
+            # lazily: the context must exist before either does.
+            resolve_owner=lambda query_id, default: self.lifecycle.resolve_owner(
+                query_id, default
+            ),
+            is_retracted=lambda query_id: self.lifecycle.is_retracted(query_id),
+            record_orphaned=lambda count: self.churn.record_orphaned(count),
+            record_retracted=self._note_retraction_purge,
         )
         self.nodes: Dict[str, RJoinNode] = {}
         for chord_node in self.ring.nodes:
@@ -143,6 +154,26 @@ class RJoinEngine:
         self._sequence = 0
         self._published = 0
         self._oracle_counts: Dict[str, int] = {}
+        #: Queries ever submitted (handles of removed queries leave
+        #: :attr:`_handles` but stay counted here).
+        self._submitted_total = 0
+        #: Answers delivered to queries that have since been removed.
+        self._retired_answers = 0
+        #: Per-retraction purge accumulator fed by the nodes' ctx callback.
+        self._retraction_purged = 0
+
+        # Query lifecycle ------------------------------------------------------
+        self.lifecycle = QueryLifecycleManager(
+            ring=self.ring,
+            nodes=self.nodes,
+            handles=self._handles,
+            churn=self.churn,
+            clock=lambda: self.kernel.now,
+            enabled=self.config.owner_failover,
+        )
+        # Handle registrations re-home through the lifecycle layer's notion
+        # of "home" (successor of the query's owner), not a key hash.
+        self.membership.registration_home = self.lifecycle.registration_home
 
     # ------------------------------------------------------------------
     # schema management
@@ -204,6 +235,8 @@ class RJoinEngine:
             insertion_time=insertion_time,
         )
         self._handles[query_id] = handle
+        self._submitted_total += 1
+        self.lifecycle.register(handle)
         state = QueryState(
             query_id=query_id,
             owner=owner,
@@ -215,6 +248,65 @@ class RJoinEngine:
         if process:
             self.run()
         return handle
+
+    def remove_query(self, query_id: str) -> int:
+        """Retract a continuous query; returns the number of purged records.
+
+        The network is drained first (so no rewritten query or answer of
+        ``query_id`` is in flight), then a
+        :class:`~repro.core.protocol.RetractQueryMessage` is sent from the
+        owner to every live node — each deletes the query's local state:
+        its input-query record, every rewritten query derived from it and
+        any RIC round trip still pending on its behalf.  The engine-side
+        handle is retired (its delivered answers stay counted in
+        :attr:`total_answers` and remain readable on the handle object the
+        caller holds), its replicated registration is dropped, and — once
+        no active query remains — every node vacuums the state that only
+        existed to serve queries: stored tuples and ALTT entries published
+        before now, plus the candidate-table RIC caches.
+
+        Removal leaves zero orphaned records on any node; the
+        ``orphaned_state_records`` metric is the regression probe for that
+        invariant.
+        """
+        handle = self._handles.get(query_id)
+        if handle is None:
+            raise EngineError(
+                f"unknown (or already removed) query id {query_id!r}"
+            )
+        if self.kernel.is_running:
+            raise EngineError(
+                "remove_query is a synchronous engine operation; it must "
+                "not be called from inside a network drain"
+            )
+        self.run()
+        self.lifecycle.mark_retracted(query_id)
+        origin = handle.owner
+        if origin not in self.nodes:
+            # Failover-disabled runs can retire queries whose owner has
+            # departed; any live node can drive the retraction.
+            origin = self.ring.owner_of_key(query_id).address
+        retraction = RetractQueryMessage(query_id=query_id, origin=origin)
+        self._retraction_purged = 0
+        for address in self.ring.addresses:
+            self.api.send_direct(origin, retraction, address)
+        self.run()
+        purged = self._retraction_purged
+        self.lifecycle.deregister(query_id)
+        del self._handles[query_id]
+        self._retired_answers += handle.count
+        self.churn.record_query_removed(purged)
+        if not self._handles:
+            vacuumed = 0
+            for node in self.nodes.values():
+                vacuumed += node.vacuum(self.kernel.now)
+            if vacuumed:
+                self.churn.record_vacuum(vacuumed)
+        return purged
+
+    def _note_retraction_purge(self, count: int) -> None:
+        """Node-side retraction purges accumulate here (ctx callback)."""
+        self._retraction_purged += count
 
     # ------------------------------------------------------------------
     # tuple publication
@@ -435,8 +527,14 @@ class RJoinEngine:
 
     @property
     def total_answers(self) -> int:
-        """Total answers delivered across every submitted query."""
-        return sum(handle.count for handle in self._handles.values())
+        """Total answers delivered across every submitted query.
+
+        Includes the answers that queries removed through
+        :meth:`remove_query` had received before their retraction.
+        """
+        return self._retired_answers + sum(
+            handle.count for handle in self._handles.values()
+        )
 
     # ------------------------------------------------------------------
     # rate oracle (used by the Worst baseline and by tests)
@@ -555,12 +653,52 @@ class RJoinEngine:
         """
         address = self._resolve_victim(address, operation="crash")
         node = self.nodes.pop(address)
+        # Owner failover: the survivor is the crashed node's ring successor —
+        # exactly where submit() replicated the handle registrations — and it
+        # must be resolved while the ring still knows the victim's position.
+        owned, successor = self._failover_target(address)
         self.ring.remove_node(address)
         self.api.unregister_handler(address)
+        if owned and successor is not None:
+            owned_set = set(owned)
+            rerouted = self.api.redirect_in_flight(
+                address,
+                lambda message: (
+                    successor
+                    if isinstance(message, AnswerMessage)
+                    and message.query_id in owned_set
+                    else None
+                ),
+            )
+            if rerouted:
+                self.churn.record_answers_rerouted(rerouted)
         self.api.drop_in_flight(address)
         self.membership.discard(node)
+        if owned and successor is not None:
+            self.lifecycle.failover_owner(address, successor)
+        repaired = self.lifecycle.repair_replicas(address)
+        if repaired:
+            self.churn.record_replica_repairs(repaired)
         self._forget_departed(address, node)
         return address
+
+    def _failover_target(self, address: str) -> tuple:
+        """``(owned query ids, successor address)`` for a departing owner.
+
+        Resolved on the *pre-departure* ring; the successor is ``None``
+        when failover is disabled, the node owns no queries, or the ring is
+        degenerate (single node).
+        """
+        if not self.lifecycle.enabled:
+            return [], None
+        owned = self.lifecycle.queries_owned_by(address)
+        if not owned:
+            return [], None
+        chord_node = self.ring.node_by_address(address)
+        successor = self.ring.successor_of(chord_node)
+        if successor.address == address:
+            return owned, None
+        return owned, successor.address
 
     def schedule_membership_op(
         self,
@@ -646,8 +784,13 @@ class RJoinEngine:
 
     def _leave_now(self, address: str) -> None:
         node = self.nodes.pop(address)
+        # A cooperative departure re-registers the leaver's queries on its
+        # successor just like a crash does — only without anything to lose.
+        owned, successor = self._failover_target(address)
         self.ring.remove_node(address)
         self.api.unregister_handler(address)
+        if owned and successor is not None:
+            self.lifecycle.failover_owner(address, successor)
         self.membership.handoff(node)
         self._forget_departed(address, node)
 
@@ -710,7 +853,8 @@ class RJoinEngine:
         return {
             "nodes": float(num_nodes),
             "published_tuples": float(self._published),
-            "submitted_queries": float(len(self._handles)),
+            "submitted_queries": float(self._submitted_total),
+            "active_queries": float(len(self._handles)),
             "total_messages": float(self.traffic.total_messages),
             "ric_messages": float(self.traffic.total_ric_messages),
             "messages_per_node": self.traffic.messages_per_node(num_nodes),
@@ -736,6 +880,16 @@ class RJoinEngine:
                 self._departed_stale_attempts
                 + sum(node.stale_one_hop_attempts for node in self.nodes.values())
             ),
+            # Query lifecycle (removal + owner failover) -------------------
+            "queries_removed": float(self.churn.queries_removed),
+            "records_retracted": float(self.churn.records_retracted),
+            "records_vacuumed": float(self.churn.records_vacuumed),
+            "orphaned_state_records": float(self.churn.orphaned_state_records),
+            "failover_reregistrations": float(
+                self.churn.failover_reregistrations
+            ),
+            "replica_repairs": float(self.churn.replica_repairs),
+            "answers_rerouted": float(self.churn.answers_rerouted),
         }
 
     @property

@@ -10,7 +10,12 @@ movement) and re-homes every kind of node-local state:
 * attribute-level tuple-table entries
   (:class:`~repro.core.altt.AttributeLevelTupleTable`),
 * stored input and rewritten queries
-  (:class:`~repro.core.node.QueryTable`).
+  (:class:`~repro.core.node.QueryTable`),
+* replicated handle registrations of the query lifecycle subsystem
+  (:class:`~repro.core.lifecycle.HandleRegistration`) — these live on the
+  ring successor of each query's *owner* rather than at the hash of a key,
+  so the manager routes them through the lifecycle layer's
+  ``registration_home`` instead of ``owner_of``.
 
 Re-homing is an out-of-band state transfer (it does not generate simulated
 network messages — the same modelling choice the id-movement path always
@@ -101,6 +106,13 @@ class MembershipManager:
         self.loads = loads
         self.churn = churn
         self._clock = clock
+        #: ``query_id -> address`` of the node that must hold the query's
+        #: replicated handle registration (None: no lifecycle layer wired,
+        #: or the query is gone).  Set by the engine once the
+        #: :class:`~repro.core.lifecycle.QueryLifecycleManager` exists.
+        self.registration_home: Optional[
+            Callable[[str], Optional[str]]
+        ] = None
 
     # ------------------------------------------------------------------
     # ownership
@@ -132,7 +144,9 @@ class MembershipManager:
             scan = [self.nodes[address] for address in addresses]
         pending: List["RehomedItem"] = []
         for node in scan:
-            pending.extend(node.extract_misplaced(self.owner_of))
+            pending.extend(
+                node.extract_misplaced(self.owner_of, self.registration_home)
+            )
         report = self._deliver(pending)
         always_record = kind != "move"
         if always_record or report.records_moved:
@@ -182,11 +196,28 @@ class MembershipManager:
     # internals
     # ------------------------------------------------------------------
     def _deliver(self, pending: List["RehomedItem"]) -> RehomeReport:
-        """Hand every extracted item to the node owning its key."""
+        """Hand every extracted item to the node owning its key.
+
+        Handle registrations route through the lifecycle layer's
+        ``registration_home`` (they live at the successor of their query's
+        owner, not at the hash of a key); a registration whose query has
+        disappeared in the meantime is dropped rather than delivered.
+        """
         moved_by_kind: Dict[str, int] = {}
         bytes_moved = 0
+        delivered = 0
         for item in pending:
-            owner = self.owner_of(item.key_text)
+            if item.kind == "registration":
+                home = (
+                    self.registration_home(item.key_text)
+                    if self.registration_home is not None
+                    else None
+                )
+                if home is None:
+                    continue
+                owner = home
+            else:
+                owner = self.owner_of(item.key_text)
             try:
                 target = self.nodes[owner]
             except KeyError:
@@ -195,10 +226,11 @@ class MembershipManager:
                     "has no application-layer node registered"
                 ) from None
             target.accept_rehomed(item)
+            delivered += 1
             moved_by_kind[item.kind] = moved_by_kind.get(item.kind, 0) + 1
             bytes_moved += estimate_item_bytes(item)
         return RehomeReport(
-            records_moved=len(pending),
+            records_moved=delivered,
             bytes_moved=bytes_moved,
             moved_by_kind=moved_by_kind,
         )

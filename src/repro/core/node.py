@@ -26,6 +26,7 @@ import itertools
 import random
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
@@ -45,6 +46,7 @@ from repro.core.protocol import (
     IndexQueryMessage,
     NewTupleMessage,
     QueryState,
+    RetractQueryMessage,
     RicReplyMessage,
     RicRequestMessage,
 )
@@ -68,6 +70,9 @@ from repro.metrics.collectors import LoadTracker
 from repro.net.messages import Envelope
 from repro.sql.ast import WindowSpec
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.lifecycle import HandleRegistration
+
 
 @dataclass
 class NodeContext:
@@ -88,6 +93,18 @@ class NodeContext:
     #: Tuple-store backend every node of the engine builds its local store
     #: from (see :func:`repro.data.backends.make_store`).
     store_backend: str = DEFAULT_BACKEND
+    # Query lifecycle services (retraction + owner failover) ---------------
+    #: ``(query_id, fallback) -> current owner address``: producers resolve
+    #: the live owner at answer-emission time so failover re-registrations
+    #: take effect without rewriting every stored query state.
+    resolve_owner: Optional[Callable[[str, str], str]] = None
+    #: Whether a query id has been retracted; state arriving for a retracted
+    #: query is orphaned and must be dropped on sight.
+    is_retracted: Optional[Callable[[str], bool]] = None
+    #: Sink for the orphaned-state probe (dropped post-retraction records).
+    record_orphaned: Optional[Callable[[int], None]] = None
+    #: Sink for per-node retraction purges (records deleted per query).
+    record_retracted: Optional[Callable[[int], None]] = None
 
 
 @dataclass
@@ -170,6 +187,30 @@ class QueryTable:
         """Number of stored records across all keys; O(1)."""
         return self._size
 
+    def remove_query(self, query_id: str) -> List[StoredQueryRecord]:
+        """Remove (and return) every record belonging to ``query_id``.
+
+        The retraction path of the query lifecycle subsystem.  Stale expiry
+        heap entries for the removed records pop harmlessly later — the
+        identity check of :meth:`gc_expired` skips records that are no
+        longer stored.
+        """
+        removed: List[StoredQueryRecord] = []
+        for key_text in list(self._by_key):
+            records = self._by_key[key_text]
+            kept = [
+                record for record in records
+                if record.state.query_id != query_id
+            ]
+            if len(kept) == len(records):
+                continue
+            removed.extend(
+                record for record in records
+                if record.state.query_id == query_id
+            )
+            self.replace(key_text, kept)
+        return removed
+
     def gc_expired(self, clocks: Mapping[str, float]) -> int:
         """Drop records whose window deadline passed; returns the drop count.
 
@@ -210,7 +251,7 @@ class _PendingIndexOp:
 class RehomedItem:
     """A stored item that must move to another node after id movement."""
 
-    kind: str                     # "input" | "rewritten" | "tuple" | "altt"
+    kind: str     # "input" | "rewritten" | "tuple" | "altt" | "registration"
     key_text: str
     payload: object
 
@@ -231,6 +272,10 @@ class RJoinNode:
         self.candidate_table = CandidateTable(freshness=ctx.config.ric_freshness)
         self._pending_ric: Dict[str, _PendingIndexOp] = {}
         self._ric_counter = 0
+        # Query lifecycle state -----------------------------------------------
+        #: Replicated handle registrations this node holds for queries whose
+        #: owner's ring successor it currently is (owner failover).
+        self.registrations: Dict[str, "HandleRegistration"] = {}
         # Local counters ------------------------------------------------------
         self.answers_sent = 0
         #: Times a cached one-hop address turned out to have left the ring by
@@ -257,6 +302,8 @@ class RJoinNode:
             self._on_ric_reply(message)
         elif isinstance(message, AnswerMessage):
             self._on_answer(message)
+        elif isinstance(message, RetractQueryMessage):
+            self._on_retract_query(message)
         # Unknown messages are silently ignored (forward compatibility).
 
     # ------------------------------------------------------------------
@@ -386,7 +433,13 @@ class RJoinNode:
         return None
 
     def _emit_answer(self, state: QueryState) -> None:
-        """Ship an answer directly to the node that submitted the input query."""
+        """Ship an answer directly to the node that submitted the input query.
+
+        The destination is resolved through the lifecycle layer at emission
+        time: after an owner failover the stored query states still carry
+        the departed owner's address, but answers must reach the surviving
+        registrant.
+        """
         now = self.ctx.clock()
         answer = AnswerMessage(
             query_id=state.query_id,
@@ -396,7 +449,10 @@ class RJoinNode:
         )
         self.answers_sent += 1
         self.ctx.loads.record_answer(self.address)
-        self.ctx.api.send_direct(self.address, answer, state.owner)
+        owner = state.owner
+        if self.ctx.resolve_owner is not None:
+            owner = self.ctx.resolve_owner(state.query_id, owner)
+        self.ctx.api.send_direct(self.address, answer, owner)
 
     # ------------------------------------------------------------------
     # receiving an input query
@@ -405,6 +461,8 @@ class RJoinNode:
         now = self.ctx.clock()
         self.ctx.loads.record_input_query_received(self.address)
         state, key = msg.state, msg.key
+        if self._drop_if_retracted(state):
+            return
         self._adopt_ric_info(state)
         record = StoredQueryRecord(
             state=state,
@@ -431,6 +489,8 @@ class RJoinNode:
         now = self.ctx.clock()
         self.ctx.loads.record_query_received(self.address)
         state, key = msg.state, msg.key
+        if self._drop_if_retracted(state):
+            return
         self._adopt_ric_info(state)
 
         record = StoredQueryRecord(
@@ -607,6 +667,8 @@ class RJoinNode:
         op = self._pending_ric.pop(msg.request_id, None)
         if op is None:
             return
+        if self._drop_if_retracted(op.state):
+            return
         # A reporter can crash while its reply is in flight; its entries are
         # dead on arrival and must not re-enter the candidate table.
         ring = self.ctx.api.ring
@@ -678,6 +740,77 @@ class RJoinNode:
         self.ctx.collect_answer(msg, self.ctx.clock())
 
     # ------------------------------------------------------------------
+    # query lifecycle: retraction and vacuum
+    # ------------------------------------------------------------------
+    def _drop_if_retracted(self, state: QueryState) -> bool:
+        """Drop state of an already-retracted query (orphan guard).
+
+        Retraction drains the network first, so in ordinary runs nothing is
+        in flight when a query is removed; this guard catches the exotic
+        interleavings (kernel-scheduled membership ops firing mid-drain)
+        where a straggler could otherwise re-install purged state.  Every
+        hit feeds the ``orphaned_state_records`` probe.
+        """
+        is_retracted = self.ctx.is_retracted
+        if is_retracted is None or not is_retracted(state.query_id):
+            return False
+        if self.ctx.record_orphaned is not None:
+            self.ctx.record_orphaned(1)
+        return True
+
+    def _on_retract_query(self, msg: RetractQueryMessage) -> None:
+        """Delete every piece of local state belonging to a retracted query."""
+        self.retract_query(msg.query_id)
+
+    def retract_query(self, query_id: str) -> int:
+        """Purge ``query_id``'s state from this node; returns the purge count.
+
+        Covers the three per-query state kinds a node can hold: the stored
+        input-query record, every rewritten query derived from it, and RIC
+        round trips still pending on its behalf.  Purged rewritten queries
+        leave the storage-load accounting like window-expired ones do, so
+        ``current_storage`` keeps matching the live state.
+        """
+        input_records = self.input_queries.remove_query(query_id)
+        rewritten_records = self.rewritten_queries.remove_query(query_id)
+        if rewritten_records:
+            self.ctx.loads.record_query_dropped(
+                self.address, len(rewritten_records)
+            )
+        stale_ops = [
+            request_id
+            for request_id, op in self._pending_ric.items()
+            if op.state.query_id == query_id
+        ]
+        for request_id in stale_ops:
+            del self._pending_ric[request_id]
+        purged = len(input_records) + len(rewritten_records) + len(stale_ops)
+        if purged and self.ctx.record_retracted is not None:
+            self.ctx.record_retracted(purged)
+        return purged
+
+    def vacuum(self, published_before: float) -> int:
+        """Reclaim state that exists only to serve continuous queries.
+
+        Called by the engine when the last active query has been removed:
+        any *future* query's insertion time will be at or after ``now``,
+        and the trigger condition ``pubT(t) >= insT(q)`` makes every tuple
+        published strictly before that unreachable — stored value-level
+        copies and ALTT entries alike.  The candidate-table RIC cache is
+        cleared with them (it only informs indexing decisions of queries).
+        Returns the number of reclaimed records.
+        """
+        tuples_dropped = self.tuple_store.remove_published_before(
+            published_before
+        )
+        if tuples_dropped:
+            self.ctx.loads.record_tuple_dropped(self.address, tuples_dropped)
+        altt_dropped = self.altt.remove_published_before(published_before)
+        cache_dropped = len(self.candidate_table)
+        self.candidate_table.clear()
+        return tuples_dropped + altt_dropped + cache_dropped
+
+    # ------------------------------------------------------------------
     # sliding-window / storage garbage collection
     # ------------------------------------------------------------------
     def _window_clock(self, window: WindowSpec) -> float:
@@ -720,18 +853,43 @@ class RJoinNode:
     # membership support (id movement, node join/leave — Figure 9 and churn)
     # ------------------------------------------------------------------
     def extract_misplaced(
-        self, owner_of: Callable[[str], str]
+        self,
+        owner_of: Callable[[str], str],
+        registration_home: Optional[Callable[[str], Optional[str]]] = None,
     ) -> List[RehomedItem]:
         """Remove and return stored items whose key is now owned by another node.
 
-        Covers all three node-local state kinds: stored queries (input and
-        rewritten), value-level tuples and ALTT entries.
+        Covers every node-local state kind: stored queries (input and
+        rewritten), value-level tuples, ALTT entries and — when the caller
+        provides the lifecycle layer's ``registration_home`` — replicated
+        handle registrations whose proper home (the ring successor of the
+        query's owner) is no longer this node.
         """
-        return self._extract(lambda key_text: owner_of(key_text) != self.address)
+        items = self._extract(lambda key_text: owner_of(key_text) != self.address)
+        if registration_home is not None:
+            for query_id in list(self.registrations):
+                if registration_home(query_id) != self.address:
+                    items.append(
+                        RehomedItem(
+                            kind="registration",
+                            key_text=query_id,
+                            payload=self.registrations.pop(query_id),
+                        )
+                    )
+        return items
 
     def extract_all(self) -> List[RehomedItem]:
         """Remove and return *every* stored item (graceful departure hand-off)."""
-        return self._extract(lambda key_text: True)
+        items = self._extract(lambda key_text: True)
+        for query_id in list(self.registrations):
+            items.append(
+                RehomedItem(
+                    kind="registration",
+                    key_text=query_id,
+                    payload=self.registrations.pop(query_id),
+                )
+            )
+        return items
 
     def _extract(self, should_move: Callable[[str], bool]) -> List[RehomedItem]:
         items: List[RehomedItem] = []
@@ -807,11 +965,13 @@ class RJoinNode:
         elif item.kind == "altt":
             tup, received_at = item.payload
             self.altt.add(item.key_text, tup, received_at)
+        elif item.kind == "registration":
+            self.registrations[item.key_text] = item.payload
         else:
             raise EngineError(
                 f"cannot re-home item of unknown kind {item.kind!r} for key "
                 f"{item.key_text!r}; expected one of 'input', 'rewritten', "
-                "'tuple' or 'altt'"
+                "'tuple', 'altt' or 'registration'"
             )
 
     # ------------------------------------------------------------------

@@ -14,7 +14,10 @@ machinery of Sections 6–7 and answer delivery:
   information gathering of Section 6 (each candidate appends its observation
   and forwards the request; the last one replies directly to the origin),
 * :class:`AnswerMessage` — an answer of an input query, sent directly to the
-  node that submitted it.
+  node that submitted it,
+* :class:`RetractQueryMessage` — the lifecycle layer's retraction of a
+  continuous query: broadcast to every node so each one purges the query's
+  local state (input record, rewritten queries, pending RIC round trips).
 
 :class:`QueryState` is the mutable evaluation state shipped inside the query
 messages: the (rewritten) query, the identity and owner of the originating
@@ -141,3 +144,17 @@ class AnswerMessage(Message):
     values: TupleT[Any, ...]
     produced_at: float
     producer: str
+
+
+@dataclass
+class RetractQueryMessage(Message):
+    """Retraction of a continuous query (query lifecycle subsystem).
+
+    ``origin`` is the node driving the retraction (normally the query's
+    owner); every receiving node deletes its state for ``query_id`` —
+    the stored input-query record, every rewritten query derived from it,
+    and any RIC round trip still pending on its behalf.
+    """
+
+    query_id: str
+    origin: str

@@ -47,6 +47,10 @@ class ReferenceEngine:
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
         self._queries: Dict[str, _RegisteredQuery] = {}
+        #: Removed queries, kept so their answer history stays inspectable
+        #: (mirrors the engine: a retracted query's handle retains the
+        #: answers delivered before the retraction).
+        self._removed: Dict[str, _RegisteredQuery] = {}
         self._tuples: Dict[str, List[Tuple]] = {}
         self._sequence = 0
 
@@ -66,6 +70,20 @@ class ReferenceEngine:
             query_id=query_id, query=query, insertion_time=insertion_time
         )
         return query_id
+
+    def remove_query(self, query_id: str) -> None:
+        """Retract a continuous query: later publications produce no answers.
+
+        Mirrors :meth:`repro.core.engine.RJoinEngine.remove_query` so that
+        oracle-equality tests hold across removals; the answers produced
+        before the retraction remain available through :meth:`answers`.
+        """
+        try:
+            self._removed[query_id] = self._queries.pop(query_id)
+        except KeyError:
+            raise EngineError(
+                f"unknown (or already removed) query id {query_id!r}"
+            ) from None
 
     # ------------------------------------------------------------------
     # publication
@@ -107,11 +125,14 @@ class ReferenceEngine:
     # answers
     # ------------------------------------------------------------------
     def answers(self, query_id: str) -> List[TupleT[Any, ...]]:
-        """All answers produced for ``query_id`` so far (bag or set order-insensitive)."""
-        try:
-            return list(self._queries[query_id].answers)
-        except KeyError:
-            raise EngineError(f"unknown query id {query_id!r}") from None
+        """All answers produced for ``query_id`` so far (bag or set order-insensitive).
+
+        Removed queries keep their pre-retraction answer history.
+        """
+        registered = self._queries.get(query_id) or self._removed.get(query_id)
+        if registered is None:
+            raise EngineError(f"unknown query id {query_id!r}")
+        return list(registered.answers)
 
     def answer_count(self, query_id: str) -> int:
         """Number of answers produced for ``query_id``."""

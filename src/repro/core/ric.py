@@ -131,6 +131,15 @@ class CandidateTable:
             del self._entries[key_text]
         return len(stale)
 
+    def clear(self) -> None:
+        """Drop every cached entry (the hit/miss counters are preserved).
+
+        The query-lifecycle vacuum: cached RIC observations only inform the
+        indexing decisions of continuous queries, so once the last active
+        query is removed the cache is dead weight.
+        """
+        self._entries.clear()
+
     def address_of(self, key_text: str) -> Optional[str]:
         """Last known responsible node for ``key_text`` (even if the rate is stale)."""
         entry = self._entries.get(key_text)

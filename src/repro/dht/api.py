@@ -97,6 +97,41 @@ class DHTMessagingService:
         self._dropped += dropped
         return dropped
 
+    def redirect_in_flight(
+        self,
+        address: str,
+        reroute: Callable[[Message], Optional[str]],
+    ) -> int:
+        """Re-route undelivered messages addressed to ``address``.
+
+        Every undelivered message to ``address`` is taken off the kernel;
+        ``reroute(message)`` (evaluated once per message) names its new
+        destination, or ``None`` to drop it — the same fate
+        :meth:`drop_in_flight` would apply.  Models owner failover: when a
+        query owner crashes, answers still in flight towards it are re-sent
+        by their producers to the re-registered owner once the failure is
+        detected — so each re-routed message is a fresh, fully charged
+        direct transmission from its original sender.  Messages whose
+        sender has itself left the ring cannot be re-sent and are counted
+        as dropped.  Returns the number of re-routed messages.
+        """
+        pending = self.kernel.extract_where(
+            lambda callback, args: callback == self._deliver
+            and bool(args)
+            and args[0].destination == address
+        )
+        rerouted = 0
+        for (envelope,) in pending:
+            destination = reroute(envelope.message)
+            if destination is None or not self.ring.has_address(
+                envelope.sender
+            ):
+                self._dropped += 1
+                continue
+            self.send_direct(envelope.sender, envelope.message, destination)
+            rerouted += 1
+        return rerouted
+
     @property
     def dropped_messages(self) -> int:
         """Messages the network lost instead of delivering.

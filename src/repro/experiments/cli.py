@@ -12,7 +12,16 @@ when ``--workers > 1``), streaming one JSON checkpoint per cell under the
 output directory so that re-running resumes instead of recomputing.
 ``report`` renders the aggregated mean/stddev statistics of a finished grid;
 ``report --diff A B`` compares two grid result directories cell-by-cell
-(regression diffs between branches, scales or machines).
+(regression diffs between branches, scales or machines — result files of
+older schema versions load fine, so diffs can span schema bumps).
+
+Lifecycle scenarios (``query-churn``, ``owner-failover``) are best viewed
+with their own counters, e.g.::
+
+    python -m repro.experiments report --scenario query-churn \
+        --metrics queries_removed,records_vacuumed,answers
+    python -m repro.experiments report --scenario owner-failover \
+        --metrics failover_reregistrations,answers_rerouted,answers
 """
 
 from __future__ import annotations

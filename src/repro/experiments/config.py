@@ -93,6 +93,54 @@ class ChurnSpec:
         return events
 
 
+@dataclass(frozen=True)
+class QueryChurnSpec:
+    """Query-lifecycle churn schedule of one experiment.
+
+    Rates are expressed per published (measured) tuple, mirroring
+    :class:`ChurnSpec`: ``remove_every=10`` retracts one continuous query
+    after tuples 10, 20, 30, … of the tuple phase.  ``resubmit=True``
+    immediately re-submits an equivalent fresh query (same SQL, new handle
+    and insertion time) so the active population stays constant — the
+    "mixed query churn" workload; ``resubmit=False`` drains the population
+    towards ``min_queries`` instead.  ``target`` picks the victim: the
+    ``oldest`` active query (default — deterministic), the ``newest``, or
+    a seeded ``random`` choice.
+    """
+
+    remove_every: int = 0
+    resubmit: bool = True
+    start_after: int = 0
+    target: str = "oldest"
+    min_queries: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("remove_every", "start_after", "min_queries"):
+            if getattr(self, name) < 0:
+                raise ExperimentError(f"{name} must be non-negative")
+        if self.target not in ("oldest", "newest", "random"):
+            raise ExperimentError(
+                "target must be 'oldest', 'newest' or 'random', "
+                f"got {self.target!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this schedule removes any query at all."""
+        return bool(self.remove_every)
+
+    def events_for(self, num_tuples: int) -> List[int]:
+        """The deterministic tuple indices after which one removal fires."""
+        if not self.remove_every:
+            return []
+        events: List[int] = []
+        index = max(self.start_after, 0) + self.remove_every
+        while index <= num_tuples:
+            events.append(index)
+            index += self.remove_every
+        return events
+
+
 @dataclass
 class ExperimentConfig:
     """Parameters of one experiment run."""
@@ -109,6 +157,13 @@ class ExperimentConfig:
     delay_jitter: float = 0.0
     #: Membership churn schedule (None: the ring is static for the whole run).
     churn: Optional[ChurnSpec] = None
+    #: Query-lifecycle churn schedule (None: queries are only ever added) —
+    #: composes freely with node churn into the full elasticity story.
+    query_churn: Optional[QueryChurnSpec] = None
+    #: Whether query-handle registrations are replicated to the owner's ring
+    #: successor so owner departures fail over instead of dropping answers
+    #: (the axis of the ``owner-failover`` scenario).
+    owner_failover: bool = True
     #: Node-local tuple-store backend (``memory`` / ``sqlite`` /
     #: ``append-log``) — the axis of the ``store-backends`` scenario.
     store_backend: str = DEFAULT_BACKEND
@@ -168,6 +223,12 @@ class ExperimentConfig:
             raise ExperimentError("hop_delay and delay_jitter must be non-negative")
         if self.churn is not None and not isinstance(self.churn, ChurnSpec):
             raise ExperimentError("churn must be a ChurnSpec (or None)")
+        if self.query_churn is not None and not isinstance(
+            self.query_churn, QueryChurnSpec
+        ):
+            raise ExperimentError(
+                "query_churn must be a QueryChurnSpec (or None)"
+            )
         if self.store_backend not in BACKEND_NAMES:
             known = ", ".join(BACKEND_NAMES)
             raise ExperimentError(

@@ -231,7 +231,9 @@ def run_grid(
     output_dir.mkdir(parents=True, exist_ok=True)
 
     cells = scenario.cells(
-        seeds=seeds, strategies=strategies, overrides=overrides,
+        seeds=seeds,
+        strategies=strategies,
+        overrides=overrides,
         full_scale=full_scale,
     )
     started = time.perf_counter()

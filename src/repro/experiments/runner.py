@@ -15,6 +15,7 @@ An experiment follows the structure used throughout Section 8:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -138,6 +139,7 @@ def build_engine(config: ExperimentConfig) -> RJoinEngine:
         strategy=config.strategy,
         store_backend=config.store_backend,
         seed=config.seed,
+        owner_failover=config.owner_failover,
         id_movement=config.id_movement,
         hop_delay=config.hop_delay,
         delay_jitter=config.delay_jitter,
@@ -181,9 +183,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         engine.publish(generated.relation, generated.values)
     warmup_baseline = engine.metrics_summary()
 
-    # Phase 1: submit and index the continuous queries.
+    # Phase 1: submit and index the continuous queries.  Handles are kept in
+    # submission order so the query-churn schedule can pick deterministic
+    # victims (oldest / newest) later.
+    active_handles = []
     for query in generator.generate_queries(config.num_queries):
-        engine.submit(query, process=False)
+        active_handles.append(engine.submit(query, process=False))
     engine.run()
     baseline = engine.metrics_summary()
     messages_after_queries, ric_after_queries = engine.traffic.snapshot()
@@ -211,6 +216,41 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         else []
     )
     churn_cursor = 0
+
+    # Query churn: the QueryChurnSpec's tuple-indexed schedule removes (and
+    # optionally re-submits) continuous queries between publications.  Unlike
+    # membership churn, removal is a synchronous engine operation — it drains
+    # the network, broadcasts the retraction and verifies the purge — so it
+    # runs inline rather than on the kernel.
+    query_churn_schedule = (
+        config.query_churn.events_for(config.num_tuples)
+        if config.query_churn is not None and config.query_churn.enabled
+        else []
+    )
+    query_churn_cursor = 0
+    victim_rng = random.Random(config.seed + 7919)
+
+    def _dispatch_query_churn(index: int) -> None:
+        nonlocal query_churn_cursor
+        spec = config.query_churn
+        while (
+            query_churn_cursor < len(query_churn_schedule)
+            and query_churn_schedule[query_churn_cursor] <= index
+        ):
+            query_churn_cursor += 1
+            if len(active_handles) <= spec.min_queries or not active_handles:
+                continue
+            if spec.target == "oldest":
+                victim = active_handles.pop(0)
+            elif spec.target == "newest":
+                victim = active_handles.pop()
+            else:
+                victim = active_handles.pop(
+                    victim_rng.randrange(len(active_handles))
+                )
+            engine.remove_query(victim.query_id)
+            if spec.resubmit:
+                active_handles.append(engine.submit(victim.query))
 
     def _dispatch_churn(index: int) -> None:
         nonlocal churn_cursor
@@ -253,6 +293,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             )
             previous_index, index = index, index + len(batch)
             _dispatch_churn(index)
+            _dispatch_query_churn(index)
             _capture(index, previous_index)
     else:
         for index, generated in enumerate(
@@ -260,6 +301,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         ):
             engine.publish(generated.relation, generated.values)
             _dispatch_churn(index)
+            _dispatch_query_churn(index)
             _capture(index, index - 1)
 
     # Churn events scheduled after the last publication are still pending on

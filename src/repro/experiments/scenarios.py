@@ -13,8 +13,9 @@ Two groups of scenarios ship by default:
 
 * the exploratory grid of the ROADMAP — ``baseline``, ``skew-sweep``,
   ``window-churn``, ``bursty``, ``query-flood``, ``hot-key``, ``node-churn``,
-  ``latency`` and ``store-backends`` — stressing the system along axes the
-  paper's Section 8 only touches implicitly, and
+  ``query-churn``, ``owner-failover``, ``latency`` and ``store-backends`` —
+  stressing the system along axes the paper's Section 8 only touches
+  implicitly, and
 * one scenario per paper figure (``fig2`` … ``fig9``) so that the figure
   functions are thin consumers of the registry.
 
@@ -30,7 +31,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.data.backends import BACKEND_NAMES
 from repro.errors import ExperimentError
-from repro.experiments.config import ChurnSpec, ExperimentConfig, is_full_scale
+from repro.experiments.config import (
+    ChurnSpec,
+    ExperimentConfig,
+    QueryChurnSpec,
+    is_full_scale,
+)
 from repro.sql.ast import WindowSpec
 
 
@@ -416,6 +422,104 @@ register(
     )
 )
 
+register(
+    Scenario(
+        name="query-churn",
+        description=(
+            "Continuous queries come and go mid-stream: retraction through "
+            "the ring (zero-orphan purge + vacuum), optionally followed by "
+            "re-submission; composes with node churn into the full "
+            "elasticity story."
+        ),
+        axis="query_churn",
+        default_base=ExperimentConfig(
+            name="query-churn",
+            num_nodes=40,
+            num_queries=60,
+            num_tuples=100,
+            warmup_tuples=20,
+        ),
+        default_variants=(
+            Variant(label="stable", overrides={"query_churn": None}),
+            Variant(
+                label="remove",
+                overrides={
+                    "query_churn": QueryChurnSpec(
+                        remove_every=10, resubmit=False
+                    )
+                },
+            ),
+            Variant(
+                label="churn",
+                overrides={"query_churn": QueryChurnSpec(remove_every=10)},
+            ),
+            Variant(
+                label="churn+nodes",
+                overrides={
+                    "query_churn": QueryChurnSpec(remove_every=10),
+                    "churn": ChurnSpec(join_every=25, leave_every=40),
+                },
+            ),
+        ),
+        paper_base=ExperimentConfig.paper_scale(name="query-churn"),
+        paper_variants=(
+            Variant(label="stable", overrides={"query_churn": None}),
+            Variant(
+                label="remove",
+                overrides={
+                    "query_churn": QueryChurnSpec(
+                        remove_every=50, resubmit=False
+                    )
+                },
+            ),
+            Variant(
+                label="churn",
+                overrides={"query_churn": QueryChurnSpec(remove_every=50)},
+            ),
+            Variant(
+                label="churn+nodes",
+                overrides={
+                    "query_churn": QueryChurnSpec(remove_every=50),
+                    "churn": ChurnSpec(join_every=100, leave_every=150),
+                },
+            ),
+        ),
+    )
+)
+
+register(
+    Scenario(
+        name="owner-failover",
+        description=(
+            "Nodes crash mid-stream while owning live query handles: with "
+            "handle replication the successor re-registers them and answers "
+            "re-route; without it every crashed owner's future answers are "
+            "dropped.  Compare answers / failover_reregistrations / "
+            "answers_rerouted across the two variants."
+        ),
+        axis="owner_failover",
+        default_base=ExperimentConfig(
+            name="owner-failover",
+            num_nodes=40,
+            num_queries=80,
+            num_tuples=100,
+            warmup_tuples=20,
+            churn=ChurnSpec(crash_every=25, min_nodes=8),
+        ),
+        default_variants=(
+            Variant(label="failover", overrides={"owner_failover": True}),
+            Variant(
+                label="no-failover", overrides={"owner_failover": False}
+            ),
+        ),
+        paper_base=ExperimentConfig.paper_scale(
+            name="owner-failover",
+            churn=ChurnSpec(crash_every=100, min_nodes=100),
+        ),
+    )
+)
+
+
 def _backend_variants(window_size: int) -> Tuple[Variant, ...]:
     """One variant per registered tuple-store backend, under one GC window."""
     window = WindowSpec(size=float(window_size), mode="tuples")
@@ -521,12 +625,18 @@ register(
         description="Effect of increasing the number of incoming tuples (Figure 3).",
         axis="num_tuples",
         default_base=ExperimentConfig(
-            name="fig3", num_nodes=100, num_queries=400, num_tuples=1,
+            name="fig3",
+            num_nodes=100,
+            num_queries=400,
+            num_tuples=1,
             warmup_tuples=40,
         ),
         default_variants=_sweep("num_tuples", (20, 40, 80, 160)),
         paper_base=ExperimentConfig(
-            name="fig3", num_nodes=1000, num_queries=20000, num_tuples=1,
+            name="fig3",
+            num_nodes=1000,
+            num_queries=20000,
+            num_tuples=1,
             warmup_tuples=200,
         ),
         paper_variants=_sweep("num_tuples", (40, 80, 160, 320, 640, 1280, 2560)),
@@ -540,12 +650,18 @@ register(
         description="Effect of increasing the number of indexed queries (Figure 4).",
         axis="num_queries",
         default_base=ExperimentConfig(
-            name="fig4", num_nodes=100, num_queries=1, num_tuples=60,
+            name="fig4",
+            num_nodes=100,
+            num_queries=1,
+            num_tuples=60,
             warmup_tuples=40,
         ),
         default_variants=_sweep("num_queries", (100, 200, 400, 800)),
         paper_base=ExperimentConfig(
-            name="fig4", num_nodes=1000, num_queries=1, num_tuples=1000,
+            name="fig4",
+            num_nodes=1000,
+            num_queries=1,
+            num_tuples=1000,
             warmup_tuples=200,
         ),
         paper_variants=_sweep("num_queries", (2000, 4000, 8000, 16000, 32000)),
@@ -559,12 +675,18 @@ register(
         description="Effect of skewed data (Figure 5).",
         axis="zipf_theta",
         default_base=ExperimentConfig(
-            name="fig5", num_nodes=100, num_queries=300, num_tuples=100,
+            name="fig5",
+            num_nodes=100,
+            num_queries=300,
+            num_tuples=100,
             warmup_tuples=0,
         ),
         default_variants=_sweep("zipf_theta", (0.3, 0.5, 0.7, 0.9), label="theta"),
         paper_base=ExperimentConfig(
-            name="fig5", num_nodes=1000, num_queries=20000, num_tuples=1000,
+            name="fig5",
+            num_nodes=1000,
+            num_queries=20000,
+            num_tuples=1000,
             warmup_tuples=0,
         ),
         seeds=(42,),
@@ -577,12 +699,18 @@ register(
         description="Effect of having more complex queries (Figure 6).",
         axis="join_arity",
         default_base=ExperimentConfig(
-            name="fig6", num_nodes=100, num_queries=200, num_tuples=80,
+            name="fig6",
+            num_nodes=100,
+            num_queries=200,
+            num_tuples=80,
             warmup_tuples=40,
         ),
         default_variants=_sweep("join_arity", (4, 6, 8)),
         paper_base=ExperimentConfig(
-            name="fig6", num_nodes=1000, num_queries=20000, num_tuples=1000,
+            name="fig6",
+            num_nodes=1000,
+            num_queries=20000,
+            num_tuples=1000,
             warmup_tuples=200,
         ),
         seeds=(42,),
@@ -595,12 +723,18 @@ register(
         description="Effect of the sliding window size (Figures 7 and 8).",
         axis="window",
         default_base=ExperimentConfig(
-            name="fig7", num_nodes=100, num_queries=250, num_tuples=200,
+            name="fig7",
+            num_nodes=100,
+            num_queries=250,
+            num_tuples=200,
             warmup_tuples=40,
         ),
         default_variants=_window_sweep((25, 50, 100, 200)),
         paper_base=ExperimentConfig(
-            name="fig7", num_nodes=1000, num_queries=20000, num_tuples=1000,
+            name="fig7",
+            num_nodes=1000,
+            num_queries=20000,
+            num_tuples=1000,
             warmup_tuples=200,
         ),
         paper_variants=_window_sweep((50, 100, 200, 400, 1000)),
@@ -614,7 +748,10 @@ register(
         description="Effect of id movement (Figure 9).",
         axis="id_movement",
         default_base=ExperimentConfig(
-            name="fig9", num_nodes=100, num_queries=300, num_tuples=150,
+            name="fig9",
+            num_nodes=100,
+            num_queries=300,
+            num_tuples=150,
             warmup_tuples=40,
         ),
         default_variants=(
@@ -622,7 +759,10 @@ register(
             Variant(label="with", overrides={"id_movement": True}),
         ),
         paper_base=ExperimentConfig(
-            name="fig9", num_nodes=1000, num_queries=20000, num_tuples=1000,
+            name="fig9",
+            num_nodes=1000,
+            num_queries=20000,
+            num_tuples=1000,
             warmup_tuples=200,
         ),
         seeds=(42,),

@@ -54,6 +54,14 @@ class ChurnStats:
         self._bytes_rehomed = 0
         self._records_lost = 0
         self._bytes_lost = 0
+        # Query lifecycle (retraction + owner failover) -------------------
+        self._queries_removed = 0
+        self._records_retracted = 0
+        self._records_vacuumed = 0
+        self._orphaned_state_records = 0
+        self._failover_reregistrations = 0
+        self._replica_repairs = 0
+        self._answers_rerouted = 0
 
     def record(self, event: MembershipEvent) -> None:
         """Account one membership event."""
@@ -63,6 +71,34 @@ class ChurnStats:
         self._bytes_rehomed += event.bytes_rehomed
         self._records_lost += event.records_lost
         self._bytes_lost += event.bytes_lost
+
+    # ------------------------------------------------------------------
+    # query lifecycle accounting
+    # ------------------------------------------------------------------
+    def record_query_removed(self, records_retracted: int = 0) -> None:
+        """One continuous query was retracted, purging ``records_retracted``."""
+        self._queries_removed += 1
+        self._records_retracted += records_retracted
+
+    def record_vacuum(self, records: int) -> None:
+        """The no-active-queries vacuum reclaimed ``records`` stored items."""
+        self._records_vacuumed += records
+
+    def record_orphaned(self, records: int = 1) -> None:
+        """State of a retracted query surfaced after its removal (probe)."""
+        self._orphaned_state_records += records
+
+    def record_failover_reregistration(self, count: int = 1) -> None:
+        """A surviving node took over a departed owner's registrations."""
+        self._failover_reregistrations += count
+
+    def record_replica_repairs(self, count: int) -> None:
+        """Owners re-replicated registrations a departed holder destroyed."""
+        self._replica_repairs += count
+
+    def record_answers_rerouted(self, count: int = 1) -> None:
+        """In-flight answers were re-routed to a failed-over owner."""
+        self._answers_rerouted += count
 
     # ------------------------------------------------------------------
     # aggregates
@@ -112,6 +148,41 @@ class ChurnStats:
         """Estimated payload bytes destroyed by crashes; O(1)."""
         return self._bytes_lost
 
+    @property
+    def queries_removed(self) -> int:
+        """Continuous queries retracted through the lifecycle layer; O(1)."""
+        return self._queries_removed
+
+    @property
+    def records_retracted(self) -> int:
+        """State records purged by query retractions; O(1)."""
+        return self._records_retracted
+
+    @property
+    def records_vacuumed(self) -> int:
+        """Stored items reclaimed by the no-active-queries vacuum; O(1)."""
+        return self._records_vacuumed
+
+    @property
+    def orphaned_state_records(self) -> int:
+        """Retracted-query state caught after removal (should stay 0); O(1)."""
+        return self._orphaned_state_records
+
+    @property
+    def failover_reregistrations(self) -> int:
+        """Handle registrations taken over by surviving nodes; O(1)."""
+        return self._failover_reregistrations
+
+    @property
+    def replica_repairs(self) -> int:
+        """Registrations re-replicated after their holder departed; O(1)."""
+        return self._replica_repairs
+
+    @property
+    def answers_rerouted(self) -> int:
+        """In-flight answers re-routed to a failed-over owner; O(1)."""
+        return self._answers_rerouted
+
     def reset(self) -> None:
         """Clear every counter and the event log."""
         self.events.clear()
@@ -120,6 +191,13 @@ class ChurnStats:
         self._bytes_rehomed = 0
         self._records_lost = 0
         self._bytes_lost = 0
+        self._queries_removed = 0
+        self._records_retracted = 0
+        self._records_vacuumed = 0
+        self._orphaned_state_records = 0
+        self._failover_reregistrations = 0
+        self._replica_repairs = 0
+        self._answers_rerouted = 0
 
 
 @dataclass

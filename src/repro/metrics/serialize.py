@@ -18,13 +18,17 @@ import math
 from dataclasses import fields
 from typing import Dict, Mapping, Optional, Sequence
 
-from repro.experiments.config import ChurnSpec, ExperimentConfig
+from repro.experiments.config import ChurnSpec, ExperimentConfig, QueryChurnSpec
 from repro.experiments.runner import ExperimentResult
 from repro.sql.ast import WindowSpec
 
-#: v3: ``ExperimentConfig.store_backend`` joined the config schema (pluggable
-#: tuple-store backends); checkpoints written under v2 are recomputed.
-RESULT_SCHEMA_VERSION = 3
+#: v4: the query lifecycle subsystem added ``ExperimentConfig.query_churn``
+#: and ``ExperimentConfig.owner_failover`` (plus the lifecycle counters in
+#: the metrics summary); checkpoints written under v3 are recomputed by the
+#: grid runner, but v3 result files still *load* — ``result_from_dict``,
+#: ``load_cells`` and ``report --diff`` accept any schema version.
+#: (v3: ``ExperimentConfig.store_backend`` joined the config schema.)
+RESULT_SCHEMA_VERSION = 4
 
 
 # ---------------------------------------------------------------------------
@@ -62,6 +66,30 @@ def churn_from_dict(data: Optional[Mapping[str, object]]) -> Optional[ChurnSpec]
     return ChurnSpec(**{key: value for key, value in data.items() if key in known})
 
 
+def query_churn_to_dict(
+    spec: Optional[QueryChurnSpec],
+) -> Optional[Dict[str, object]]:
+    """A JSON-safe rendering of a query-lifecycle churn schedule."""
+    if spec is None:
+        return None
+    return {
+        spec_field.name: getattr(spec, spec_field.name)
+        for spec_field in fields(spec)
+    }
+
+
+def query_churn_from_dict(
+    data: Optional[Mapping[str, object]],
+) -> Optional[QueryChurnSpec]:
+    """Rebuild a :class:`QueryChurnSpec` from :func:`query_churn_to_dict` output."""
+    if data is None:
+        return None
+    known = {spec_field.name for spec_field in fields(QueryChurnSpec)}
+    return QueryChurnSpec(
+        **{key: value for key, value in data.items() if key in known}
+    )
+
+
 def config_to_dict(config: ExperimentConfig) -> Dict[str, object]:
     """A JSON-safe rendering of an experiment configuration."""
     data: Dict[str, object] = {}
@@ -71,6 +99,8 @@ def config_to_dict(config: ExperimentConfig) -> Dict[str, object]:
             value = window_to_dict(value)
         elif isinstance(value, ChurnSpec):
             value = churn_to_dict(value)
+        elif isinstance(value, QueryChurnSpec):
+            value = query_churn_to_dict(value)
         elif isinstance(value, tuple):
             value = list(value)
         data[spec_field.name] = value
@@ -85,6 +115,10 @@ def config_from_dict(data: Mapping[str, object]) -> ExperimentConfig:
         kwargs["window"] = window_from_dict(kwargs["window"])  # type: ignore[arg-type]
     if kwargs.get("churn") is not None:
         kwargs["churn"] = churn_from_dict(kwargs["churn"])  # type: ignore[arg-type]
+    if kwargs.get("query_churn") is not None:
+        kwargs["query_churn"] = query_churn_from_dict(
+            kwargs["query_churn"]  # type: ignore[arg-type]
+        )
     return ExperimentConfig(**kwargs)  # type: ignore[arg-type]
 
 

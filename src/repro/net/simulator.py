@@ -146,6 +146,27 @@ class SimulationKernel:
                 cancelled += 1
         return cancelled
 
+    def extract_where(
+        self, predicate: Callable[[Callable[..., None], Tuple[Any, ...]], bool]
+    ) -> List[Tuple[Any, ...]]:
+        """Cancel matching pending events and return their argument tuples.
+
+        Like :meth:`cancel_where`, but hands the payloads back so the caller
+        can reschedule them differently — the mechanism behind re-routing
+        in-flight answers to a failed-over query owner.  Results are in
+        scheduling order (time, then insertion sequence).
+        """
+        extracted: List[_ScheduledEvent] = []
+        for event in self._heap:
+            if event.cancelled or event.fired:
+                continue
+            if predicate(event.callback, event.args):
+                event.cancelled = True
+                self._live_events -= 1
+                extracted.append(event)
+        extracted.sort(key=lambda event: (event.time, event.sequence))
+        return [event.args for event in extracted]
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------

@@ -32,7 +32,11 @@ def make_state(is_input=True):
 class TestQueryHandle:
     def answer(self, values):
         return Answer(
-            query_id="n1#1", values=values, produced_at=1.0, delivered_at=2.0, producer="x"
+            query_id="n1#1",
+            values=values,
+            produced_at=1.0,
+            delivered_at=2.0,
+            producer="x",
         )
 
     def test_collection_and_accessors(self):

@@ -57,8 +57,12 @@ class TestProjectionTracker:
         tracker = ProjectionTracker()
         schema = cat.get("S")
         tracker.admit_and_record(query, make_tuple(cat, "S", ("b", 2, "c")), schema)
-        assert tracker.admit_and_record(query, make_tuple(cat, "S", ("x", 2, "c")), schema)
-        assert tracker.admit_and_record(query, make_tuple(cat, "S", ("b", 3, "c")), schema)
+        assert tracker.admit_and_record(
+            query, make_tuple(cat, "S", ("x", 2, "c")), schema
+        )
+        assert tracker.admit_and_record(
+            query, make_tuple(cat, "S", ("b", 3, "c")), schema
+        )
         assert len(tracker) == 3
 
     def test_admits_does_not_record(self):
@@ -79,4 +83,6 @@ class TestProjectionTracker:
         schema = cat.get("R")
         tracker.admit_and_record(query, make_tuple(cat, "R", (1, 2, 3)), schema)
         # Same A1/A2 but different A3 (A3 is not in select/where): still a duplicate.
-        assert not tracker.admit_and_record(query, make_tuple(cat, "R", (1, 2, 99)), schema)
+        assert not tracker.admit_and_record(
+            query, make_tuple(cat, "R", (1, 2, 99)), schema
+        )

@@ -176,7 +176,12 @@ class TestMetrics:
         engine.submit("SELECT R.a FROM R, S WHERE R.b = S.c")
         engine.publish("R", (1, 10))
         assert len(engine.qpl_distribution()) <= 16
-        assert all(a >= b for a, b in zip(engine.qpl_distribution(), engine.qpl_distribution()[1:]))
+        assert all(
+            a >= b
+            for a, b in zip(
+                engine.qpl_distribution(), engine.qpl_distribution()[1:]
+            )
+        )
 
     def test_storage_distribution_current_vs_cumulative(self, engine):
         engine.submit("SELECT R.a FROM R, S WHERE R.b = S.c")
@@ -287,7 +292,9 @@ class TestPublishBatch:
         ]
 
     def test_batch_produces_same_answers_as_sequential(self, small_catalog):
-        sequential = RJoinEngine(RJoinConfig(num_nodes=16, seed=7), catalog=small_catalog)
+        sequential = RJoinEngine(
+            RJoinConfig(num_nodes=16, seed=7), catalog=small_catalog
+        )
         batched = RJoinEngine(RJoinConfig(num_nodes=16, seed=7), catalog=small_catalog)
         sql = "SELECT R.a, T.f FROM R, S, T WHERE R.b = S.c AND S.d = T.e"
         h1 = sequential.submit(sql)

@@ -55,8 +55,11 @@ def as_bag(values) -> List[str]:
 class TestBagEquivalence:
     def test_random_three_way_workload(self):
         spec = WorkloadSpec(
-            num_relations=4, attributes_per_relation=3, value_domain=4,
-            join_arity=3, seed=101,
+            num_relations=4,
+            attributes_per_relation=3,
+            value_domain=4,
+            join_arity=3,
+            seed=101,
         )
         engine, reference, handles = run_side_by_side(
             spec, num_queries=8, num_tuples=40, config=RJoinConfig(num_nodes=16, seed=1)
@@ -67,8 +70,11 @@ class TestBagEquivalence:
 
     def test_random_four_way_workload(self):
         spec = WorkloadSpec(
-            num_relations=5, attributes_per_relation=3, value_domain=3,
-            join_arity=4, seed=202,
+            num_relations=5,
+            attributes_per_relation=3,
+            value_domain=3,
+            join_arity=4,
+            seed=202,
         )
         engine, reference, handles = run_side_by_side(
             spec, num_queries=6, num_tuples=40, config=RJoinConfig(num_nodes=24, seed=2)
@@ -79,11 +85,17 @@ class TestBagEquivalence:
     def test_two_way_specialisation_matches_sai(self):
         """m = 2 is the SAI algorithm of the earlier paper; it must be exact too."""
         spec = WorkloadSpec(
-            num_relations=4, attributes_per_relation=3, value_domain=3,
-            join_arity=2, seed=303,
+            num_relations=4,
+            attributes_per_relation=3,
+            value_domain=3,
+            join_arity=2,
+            seed=303,
         )
         engine, reference, handles = run_side_by_side(
-            spec, num_queries=10, num_tuples=40, config=RJoinConfig(num_nodes=16, seed=3)
+            spec,
+            num_queries=10,
+            num_tuples=40,
+            config=RJoinConfig(num_nodes=16, seed=3),
         )
         assert sum(h.count for h in handles) > 0
         for handle in handles:
@@ -91,11 +103,16 @@ class TestBagEquivalence:
 
     def test_first_strategy_with_value_level_rewrites_is_complete(self):
         spec = WorkloadSpec(
-            num_relations=4, attributes_per_relation=3, value_domain=4,
-            join_arity=3, seed=404,
+            num_relations=4,
+            attributes_per_relation=3,
+            value_domain=4,
+            join_arity=3,
+            seed=404,
         )
         config = RJoinConfig(
-            num_nodes=16, seed=4, strategy="first",
+            num_nodes=16,
+            seed=4,
+            strategy="first",
             allow_attribute_level_rewrites=False,
         )
         engine, reference, handles = run_side_by_side(
@@ -110,8 +127,12 @@ class TestWindowedEquivalence:
     def test_window_joins_match_reference(self, mode, size):
         window = WindowSpec(size=size, mode=mode)
         spec = WorkloadSpec(
-            num_relations=4, attributes_per_relation=3, value_domain=3,
-            join_arity=3, seed=505, window=window,
+            num_relations=4,
+            attributes_per_relation=3,
+            value_domain=3,
+            join_arity=3,
+            seed=505,
+            window=window,
         )
         config = RJoinConfig(num_nodes=16, seed=5, tuple_gc_window=window)
         engine, reference, handles = run_side_by_side(
@@ -123,10 +144,16 @@ class TestWindowedEquivalence:
     def test_window_garbage_collection_reduces_state(self):
         window = WindowSpec(size=5, mode="tuples")
         spec = WorkloadSpec(
-            num_relations=4, attributes_per_relation=3, value_domain=3,
-            join_arity=3, seed=606, window=window,
+            num_relations=4,
+            attributes_per_relation=3,
+            value_domain=3,
+            join_arity=3,
+            seed=606,
+            window=window,
         )
-        config = RJoinConfig(num_nodes=16, seed=6, tuple_gc_window=window, gc_every_tuples=10)
+        config = RJoinConfig(
+            num_nodes=16, seed=6, tuple_gc_window=window, gc_every_tuples=10
+        )
         engine, reference, handles = run_side_by_side(
             spec, num_queries=6, num_tuples=60, config=config
         )
@@ -139,8 +166,12 @@ class TestWindowedEquivalence:
 class TestDistinctEquivalence:
     def test_distinct_set_semantics(self):
         spec = WorkloadSpec(
-            num_relations=4, attributes_per_relation=3, value_domain=3,
-            join_arity=3, seed=707, distinct=True,
+            num_relations=4,
+            attributes_per_relation=3,
+            value_domain=3,
+            join_arity=3,
+            seed=707,
+            distinct=True,
         )
         engine, reference, handles = run_side_by_side(
             spec, num_queries=6, num_tuples=40, config=RJoinConfig(num_nodes=16, seed=7)
@@ -155,8 +186,13 @@ class TestDistinctEquivalence:
     def test_distinct_windowed_set_semantics(self):
         window = WindowSpec(size=10, mode="tuples")
         spec = WorkloadSpec(
-            num_relations=4, attributes_per_relation=3, value_domain=3,
-            join_arity=3, seed=808, distinct=True, window=window,
+            num_relations=4,
+            attributes_per_relation=3,
+            value_domain=3,
+            join_arity=3,
+            seed=808,
+            distinct=True,
+            window=window,
         )
         config = RJoinConfig(num_nodes=16, seed=8, tuple_gc_window=window)
         engine, reference, handles = run_side_by_side(
@@ -171,8 +207,11 @@ class TestDelaysAndAltt:
     def test_completeness_with_message_jitter(self):
         """Delayed deliveries must not lose answers thanks to the ALTT (Section 4)."""
         spec = WorkloadSpec(
-            num_relations=4, attributes_per_relation=3, value_domain=4,
-            join_arity=3, seed=909,
+            num_relations=4,
+            attributes_per_relation=3,
+            value_domain=4,
+            join_arity=3,
+            seed=909,
         )
         config = RJoinConfig(num_nodes=16, seed=9, delay_jitter=5.0)
         engine, reference, handles = run_side_by_side(
@@ -184,8 +223,11 @@ class TestDelaysAndAltt:
     def test_interleaved_submission_and_publication(self):
         """Queries submitted while tuples flow still get exactly the right answers."""
         spec = WorkloadSpec(
-            num_relations=4, attributes_per_relation=3, value_domain=3,
-            join_arity=3, seed=111,
+            num_relations=4,
+            attributes_per_relation=3,
+            value_domain=3,
+            join_arity=3,
+            seed=111,
         )
         generator = WorkloadGenerator(spec)
         engine = RJoinEngine(RJoinConfig(num_nodes=16, seed=10))
@@ -199,7 +241,9 @@ class TestDelaysAndAltt:
                 query = queries.pop()
                 handle = engine.submit(query)
                 reference.submit(
-                    query, query_id=handle.query_id, insertion_time=handle.insertion_time
+                    query,
+                    query_id=handle.query_id,
+                    insertion_time=handle.insertion_time,
                 )
                 handles.append(handle)
             tup = engine.publish(generated.relation, generated.values)

@@ -11,7 +11,10 @@ from repro.workload.generator import WorkloadGenerator, WorkloadSpec
 
 def build(seed=5, **overrides):
     spec = WorkloadSpec(
-        num_relations=4, attributes_per_relation=3, value_domain=4, join_arity=3,
+        num_relations=4,
+        attributes_per_relation=3,
+        value_domain=4,
+        join_arity=3,
         seed=seed,
     )
     generator = WorkloadGenerator(spec)
@@ -46,12 +49,17 @@ class TestIdMovement:
     def test_answers_preserved_with_periodic_rebalancing(self):
         """Id movement is transparent to query results (same answers as the oracle)."""
         spec = WorkloadSpec(
-            num_relations=4, attributes_per_relation=3, value_domain=3, join_arity=3,
+            num_relations=4,
+            attributes_per_relation=3,
+            value_domain=3,
+            join_arity=3,
             seed=21,
         )
         generator = WorkloadGenerator(spec)
         engine = RJoinEngine(
-            RJoinConfig(num_nodes=16, seed=21, id_movement=True, rebalance_every_tuples=10)
+            RJoinConfig(
+                num_nodes=16, seed=21, id_movement=True, rebalance_every_tuples=10
+            )
         )
         engine.register_catalog(generator.catalog)
         reference = ReferenceEngine(generator.catalog)

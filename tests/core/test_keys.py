@@ -45,7 +45,11 @@ class TestIndexKey:
         assert key.at_attribute_level() == attribute_key("R", "a")
 
     def test_ordering_and_hashing(self):
-        keys = {attribute_key("R", "a"), attribute_key("R", "a"), value_key("R", "a", 1)}
+        keys = {
+            attribute_key("R", "a"),
+            attribute_key("R", "a"),
+            value_key("R", "a", 1),
+        }
         assert len(keys) == 2
         assert sorted([value_key("R", "b", 1), attribute_key("R", "a")])
 

@@ -26,7 +26,10 @@ STRATEGIES = ("rjoin", "random", "worst", "first")
 
 def build(seed=5, queries=6, tuples=30, **overrides):
     spec = WorkloadSpec(
-        num_relations=4, attributes_per_relation=3, value_domain=4, join_arity=3,
+        num_relations=4,
+        attributes_per_relation=3,
+        value_domain=4,
+        join_arity=3,
         seed=seed,
     )
     generator = WorkloadGenerator(spec)
@@ -186,8 +189,11 @@ class TestCrash:
         engine.crash_node(owner)
         # Keep publishing: any answer routed to the dead owner is dropped.
         spec = WorkloadSpec(
-            num_relations=4, attributes_per_relation=3, value_domain=4,
-            join_arity=3, seed=5,
+            num_relations=4,
+            attributes_per_relation=3,
+            value_domain=4,
+            join_arity=3,
+            seed=5,
         )
         generator = WorkloadGenerator(spec)
         for generated in generator.generate_tuples(20):
@@ -230,8 +236,11 @@ class TestMixedSequences:
     @pytest.mark.parametrize("strategy", STRATEGIES)
     def test_answers_under_graceful_churn_match_reference(self, strategy):
         spec = WorkloadSpec(
-            num_relations=4, attributes_per_relation=3, value_domain=3,
-            join_arity=3, seed=21,
+            num_relations=4,
+            attributes_per_relation=3,
+            value_domain=3,
+            join_arity=3,
+            seed=21,
         )
         generator = WorkloadGenerator(spec)
         engine = RJoinEngine(RJoinConfig(num_nodes=16, seed=21, strategy=strategy))

@@ -67,7 +67,9 @@ def test_rewrite_reduces_arity_or_dies(r_a, r_b, sel_value):
     query = Query(
         select_items=(AttributeRef("R", "a"), AttributeRef("S", "b")),
         relations=("R", "S"),
-        join_predicates=(JoinPredicate(AttributeRef("R", "b"), AttributeRef("S", "a")),),
+        join_predicates=(
+            JoinPredicate(AttributeRef("R", "b"), AttributeRef("S", "a")),
+        ),
         selection_predicates=(SelectionPredicate(AttributeRef("R", "a"), sel_value),),
     )
     tup = Tuple.from_schema(_catalog.get("R"), (r_a, r_b))
@@ -80,7 +82,10 @@ def test_rewrite_reduces_arity_or_dies(r_a, r_b, sel_value):
             sp.attribute.relation != "R" for sp in result.query.selection_predicates
         )
         # The derived selection carries the joined value.
-        assert SelectionPredicate(AttributeRef("S", "a"), r_b) in result.query.selection_predicates
+        assert (
+            SelectionPredicate(AttributeRef("S", "a"), r_b)
+            in result.query.selection_predicates
+        )
 
 
 @given(st.lists(st.tuples(_small_values, _small_values), min_size=2, max_size=2))
@@ -90,7 +95,9 @@ def test_rewrite_order_independence(values):
     query = Query(
         select_items=(AttributeRef("R", "a"), AttributeRef("S", "b")),
         relations=("R", "S"),
-        join_predicates=(JoinPredicate(AttributeRef("R", "b"), AttributeRef("S", "a")),),
+        join_predicates=(
+            JoinPredicate(AttributeRef("R", "b"), AttributeRef("S", "a")),
+        ),
     )
     r_tup = Tuple.from_schema(_catalog.get("R"), (r_a, r_b))
     s_tup = Tuple.from_schema(_catalog.get("S"), (s_a, s_b))
@@ -129,14 +136,19 @@ def test_incremental_window_equals_global_check(clocks, size):
 @given(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=50))
 def test_window_state_extension_is_commutative(a, b):
     base = WindowState(min_clock=10, max_clock=10)
-    assert base.extended_with(a).extended_with(b) == base.extended_with(b).extended_with(a)
+    assert base.extended_with(a).extended_with(b) == base.extended_with(
+        b
+    ).extended_with(a)
 
 
 # ---------------------------------------------------------------------------
 # Key properties
 # ---------------------------------------------------------------------------
-@given(st.text(min_size=1, max_size=8), st.text(min_size=1, max_size=8),
-       st.integers(min_value=0, max_value=99))
+@given(
+    st.text(min_size=1, max_size=8),
+    st.text(min_size=1, max_size=8),
+    st.integers(min_value=0, max_value=99),
+)
 def test_value_keys_extend_their_attribute_prefix(relation, attribute, value):
     key = value_key(relation, attribute, value)
     assert key.text.startswith(key.attribute_prefix)
@@ -147,7 +159,10 @@ def test_value_keys_extend_their_attribute_prefix(relation, attribute, value):
 # End-to-end equivalence on tiny random workloads
 # ---------------------------------------------------------------------------
 @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=10, max_value=25))
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=10, max_value=25),
+)
 def test_engine_matches_reference_on_random_workloads(seed, num_tuples):
     """RJoin delivers exactly the oracle's bag of answers (Theorems 1 and 2)."""
     rng = random.Random(seed)
@@ -167,7 +182,9 @@ def test_engine_matches_reference_on_random_workloads(seed, num_tuples):
         ),
     )
     handle = engine.submit(query)
-    reference.submit(query, query_id=handle.query_id, insertion_time=handle.insertion_time)
+    reference.submit(
+        query, query_id=handle.query_id, insertion_time=handle.insertion_time
+    )
 
     relations = ["A", "B", "C"]
     for _ in range(num_tuples):

@@ -49,7 +49,9 @@ class TestRewriteStep:
         query = parse_query(
             "SELECT R.A FROM R, S, P WHERE R.A = S.A AND S.B = P.B", catalog=catalog
         )
-        result = rewrite_query(query, make_tuple(catalog, "S", (1, 2, 3)), catalog.get("S"))
+        result = rewrite_query(
+            query, make_tuple(catalog, "S", (1, 2, 3)), catalog.get("S")
+        )
         assert result.query.arity == query.arity - 1
         assert result.query.num_joins == 0
         assert len(result.query.selection_predicates) == 2
@@ -81,16 +83,22 @@ class TestRewriteStep:
         query = parse_query(
             "SELECT S.C FROM R, S WHERE R.A = S.A AND S.A = 5", catalog=catalog
         )
-        dead = rewrite_query(query, make_tuple(catalog, "R", (4, 0, 0)), catalog.get("R"))
+        dead = rewrite_query(
+            query, make_tuple(catalog, "R", (4, 0, 0)), catalog.get("R")
+        )
         assert dead.dead
-        alive = rewrite_query(query, make_tuple(catalog, "R", (5, 0, 0)), catalog.get("R"))
+        alive = rewrite_query(
+            query, make_tuple(catalog, "R", (5, 0, 0)), catalog.get("R")
+        )
         assert alive.alive
 
     def test_completion_produces_answer_values(self, catalog):
         query = parse_query(
             "SELECT R.A, S.B FROM R, S WHERE R.B = S.A", catalog=catalog
         )
-        first = rewrite_query(query, make_tuple(catalog, "R", (1, 2, 3)), catalog.get("R"))
+        first = rewrite_query(
+            query, make_tuple(catalog, "R", (1, 2, 3)), catalog.get("R")
+        )
         assert first.alive
         second = rewrite_query(
             first.query, make_tuple(catalog, "S", (2, 9, 0)), catalog.get("S")
@@ -100,7 +108,9 @@ class TestRewriteStep:
 
     def test_completion_requires_matching_value(self, catalog):
         query = parse_query("SELECT R.A FROM R, S WHERE R.B = S.A", catalog=catalog)
-        first = rewrite_query(query, make_tuple(catalog, "R", (1, 2, 3)), catalog.get("R"))
+        first = rewrite_query(
+            query, make_tuple(catalog, "R", (1, 2, 3)), catalog.get("R")
+        )
         second = rewrite_query(
             first.query, make_tuple(catalog, "S", (99, 0, 0)), catalog.get("S")
         )
@@ -108,16 +118,24 @@ class TestRewriteStep:
 
     def test_wrong_relation_raises(self, catalog):
         query = parse_query("SELECT R.A FROM R, S WHERE R.B = S.A", catalog=catalog)
-        result = rewrite_query(query, make_tuple(catalog, "R", (1, 2, 3)), catalog.get("R"))
+        result = rewrite_query(
+            query, make_tuple(catalog, "R", (1, 2, 3)), catalog.get("R")
+        )
         with pytest.raises(RewriteError):
-            rewrite_query(result.query, make_tuple(catalog, "R", (1, 2, 3)), catalog.get("R"))
+            rewrite_query(
+                result.query, make_tuple(catalog, "R", (1, 2, 3)), catalog.get("R")
+            )
 
     def test_single_relation_selection_query(self, catalog):
         query = parse_query("SELECT R.A FROM R WHERE R.B = 5", catalog=catalog)
-        match = rewrite_query(query, make_tuple(catalog, "R", (1, 5, 0)), catalog.get("R"))
+        match = rewrite_query(
+            query, make_tuple(catalog, "R", (1, 5, 0)), catalog.get("R")
+        )
         assert match.complete
         assert match.query.answer_values() == (1,)
-        miss = rewrite_query(query, make_tuple(catalog, "R", (1, 6, 0)), catalog.get("R"))
+        miss = rewrite_query(
+            query, make_tuple(catalog, "R", (1, 6, 0)), catalog.get("R")
+        )
         assert miss.dead
 
     def test_window_and_distinct_preserved(self, catalog):
@@ -125,7 +143,9 @@ class TestRewriteStep:
             "SELECT DISTINCT R.A FROM R, S WHERE R.B = S.A WINDOW 10 TUPLES",
             catalog=catalog,
         )
-        result = rewrite_query(query, make_tuple(catalog, "R", (1, 2, 3)), catalog.get("R"))
+        result = rewrite_query(
+            query, make_tuple(catalog, "R", (1, 2, 3)), catalog.get("R")
+        )
         assert result.query.distinct
         assert result.query.window == query.window
 

@@ -38,7 +38,9 @@ class TestRicEntry:
 
 class TestCandidateTable:
     def entry(self, key="k", rate=1.0, address="n", observed_at=0.0):
-        return RicEntry(key_text=key, rate=rate, address=address, observed_at=observed_at)
+        return RicEntry(
+            key_text=key, rate=rate, address=address, observed_at=observed_at
+        )
 
     def test_update_keeps_most_recent(self):
         table = CandidateTable()

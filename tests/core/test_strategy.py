@@ -102,7 +102,10 @@ class TestStrategies:
         }
 
     def test_rjoin_picks_lowest_rate(self):
-        assert RJoinStrategy().choose(self.candidates, self.rates, rng()) == self.candidates[2]
+        assert (
+            RJoinStrategy().choose(self.candidates, self.rates, rng())
+            == self.candidates[2]
+        )
 
     def test_rjoin_tie_break_prefers_value_level(self):
         rates = {key.text: 0.0 for key in self.candidates}
@@ -110,7 +113,10 @@ class TestStrategies:
         assert chosen.is_value_level
 
     def test_worst_picks_highest_rate(self):
-        assert WorstStrategy().choose(self.candidates, self.rates, rng()) == self.candidates[0]
+        assert (
+            WorstStrategy().choose(self.candidates, self.rates, rng())
+            == self.candidates[0]
+        )
 
     def test_worst_tie_break_prefers_attribute_level(self):
         rates = {key.text: 0.0 for key in self.candidates}
@@ -119,18 +125,29 @@ class TestStrategies:
 
     def test_random_is_uniform_over_candidates(self):
         strategy = RandomStrategy()
-        seen = {strategy.choose(self.candidates, {}, random.Random(i)).text for i in range(50)}
+        seen = {
+            strategy.choose(self.candidates, {}, random.Random(i)).text
+            for i in range(50)
+        }
         assert len(seen) == len(self.candidates)
 
     def test_first_picks_document_order(self):
-        assert FirstCandidateStrategy().choose(self.candidates, self.rates, rng()) == self.candidates[0]
+        assert (
+            FirstCandidateStrategy().choose(self.candidates, self.rates, rng())
+            == self.candidates[0]
+        )
 
     def test_missing_rates_default_to_zero(self):
         chosen = RJoinStrategy().choose(self.candidates, {}, rng())
         assert chosen.is_value_level
 
     def test_empty_candidates_rejected(self):
-        for strategy in (RJoinStrategy(), WorstStrategy(), RandomStrategy(), FirstCandidateStrategy()):
+        for strategy in (
+            RJoinStrategy(),
+            WorstStrategy(),
+            RandomStrategy(),
+            FirstCandidateStrategy(),
+        ):
             with pytest.raises(ConfigurationError):
                 strategy.choose([], {}, rng())
 

@@ -119,7 +119,9 @@ class TestConformance:
 
     def test_expiry_interleaved_with_new_writes(self, store, schema):
         for seq in range(1, 6):
-            store.add("k", make_tuple(schema, (seq, seq), seq, pub_time=float(seq)), now=0.0)
+            store.add(
+                "k", make_tuple(schema, (seq, seq), seq, pub_time=float(seq)), now=0.0
+            )
         assert store.remove_published_before(3.0) == 2
         # Writes after a GC tick must be seen by the next tick.
         store.add("k", make_tuple(schema, (9, 9), 9, pub_time=3.5), now=0.0)

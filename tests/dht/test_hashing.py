@@ -60,7 +60,9 @@ class TestIdentifierSpace:
         space = IdentifierSpace(8)
         assert space.in_interval(5, 7, 7)
         assert space.in_interval(7, 7, 7, inclusive_end=True)
-        assert not space.in_interval(7, 7, 7, inclusive_start=False, inclusive_end=False)
+        assert not space.in_interval(
+            7, 7, 7, inclusive_start=False, inclusive_end=False
+        )
 
     def test_midpoint(self):
         space = IdentifierSpace(8)

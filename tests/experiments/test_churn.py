@@ -63,8 +63,12 @@ class TestChurnSpec:
 
     def test_config_round_trip_with_churn(self):
         config = ExperimentConfig(
-            num_nodes=10, num_queries=5, num_tuples=5,
-            churn=ChurnSpec(leave_every=3), hop_delay=2.5, delay_jitter=0.5,
+            num_nodes=10,
+            num_queries=5,
+            num_tuples=5,
+            churn=ChurnSpec(leave_every=3),
+            hop_delay=2.5,
+            delay_jitter=0.5,
         )
         data = config_to_dict(config)
         json.dumps(data)  # must be JSON-safe
@@ -106,8 +110,11 @@ class TestRunnerChurn:
 
     def test_latency_knobs_reach_the_engine(self):
         config = ExperimentConfig(
-            num_nodes=8, num_queries=1, num_tuples=1,
-            hop_delay=3.0, delay_jitter=1.5,
+            num_nodes=8,
+            num_queries=1,
+            num_tuples=1,
+            hop_delay=3.0,
+            delay_jitter=1.5,
         )
         engine = build_engine(config)
         assert engine.api.hop_delay == 3.0

@@ -13,10 +13,14 @@ def run_cli(*argv):
 
 
 TINY_SETTINGS = (
-    "--set", "num_nodes=16",
-    "--set", "num_queries=8",
-    "--set", "num_tuples=6",
-    "--set", "warmup_tuples=0",
+    "--set",
+    "num_nodes=16",
+    "--set",
+    "num_queries=8",
+    "--set",
+    "num_tuples=6",
+    "--set",
+    "warmup_tuples=0",
 )
 
 
@@ -36,8 +40,16 @@ class TestList:
 class TestRun:
     def test_run_writes_results_and_reports(self, tmp_path):
         code, output = run_cli(
-            "run", "--scenario", "skew-sweep", "--workers", "2",
-            "--seeds", "1,2", "--output", str(tmp_path), *TINY_SETTINGS,
+            "run",
+            "--scenario",
+            "skew-sweep",
+            "--workers",
+            "2",
+            "--seeds",
+            "1,2",
+            "--output",
+            str(tmp_path),
+            *TINY_SETTINGS,
         )
         assert code == 0
         assert "10 computed" in output
@@ -53,9 +65,16 @@ class TestRun:
 
     def test_second_run_uses_cache(self, tmp_path):
         args = (
-            "run", "--scenario", "query-flood", "--seeds", "1",
-            "--output", str(tmp_path), *TINY_SETTINGS,
-            "--set", "num_queries=8",
+            "run",
+            "--scenario",
+            "query-flood",
+            "--seeds",
+            "1",
+            "--output",
+            str(tmp_path),
+            *TINY_SETTINGS,
+            "--set",
+            "num_queries=8",
         )
         code, first = run_cli(*args)
         assert code == 0 and "3 computed" in first
@@ -71,8 +90,13 @@ class TestRun:
 
     def test_bad_set_option_is_reported(self, tmp_path):
         code, output = run_cli(
-            "run", "--scenario", "baseline", "--output", str(tmp_path),
-            "--set", "num_nodes",
+            "run",
+            "--scenario",
+            "baseline",
+            "--output",
+            str(tmp_path),
+            "--set",
+            "num_nodes",
         )
         assert code == 2
         assert "key=value" in output
@@ -88,12 +112,23 @@ class TestReport:
 
     def test_custom_metrics(self, tmp_path):
         run_cli(
-            "run", "--scenario", "bursty", "--seeds", "1",
-            "--output", str(tmp_path), *TINY_SETTINGS,
+            "run",
+            "--scenario",
+            "bursty",
+            "--seeds",
+            "1",
+            "--output",
+            str(tmp_path),
+            *TINY_SETTINGS,
         )
         code, output = run_cli(
-            "report", "--scenario", "bursty", "--output", str(tmp_path),
-            "--metrics", "total_messages,answers",
+            "report",
+            "--scenario",
+            "bursty",
+            "--output",
+            str(tmp_path),
+            "--metrics",
+            "total_messages,answers",
         )
         assert code == 0
         assert "total_messages" in output

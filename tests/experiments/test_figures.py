@@ -17,7 +17,10 @@ class TestFigure2:
         random_ = fig.series["random_qpl_per_node"][last]
         rjoin = fig.series["rjoin_qpl_per_node"][last]
         assert worst >= random_ >= rjoin
-        assert fig.series["worst_storage_per_node"][last] >= fig.series["rjoin_storage_per_node"][last]
+        assert (
+            fig.series["worst_storage_per_node"][last]
+            >= fig.series["rjoin_storage_per_node"][last]
+        )
         # RIC traffic is only a part of RJoin's total traffic.
         assert (
             fig.series["rjoin_ric_messages_per_node"][last]
@@ -33,7 +36,10 @@ class TestFigure3:
         qpl_small = sum(fig.distributions["qpl_ranked_10"])
         qpl_large = sum(fig.distributions["qpl_ranked_30"])
         assert qpl_large >= qpl_small
-        assert fig.series["participating_nodes"][1] >= fig.series["participating_nodes"][0]
+        assert (
+            fig.series["participating_nodes"][1]
+            >= fig.series["participating_nodes"][0]
+        )
 
 
 class TestFigure7:

@@ -57,7 +57,10 @@ class TestRunExperiment:
         config = ExperimentConfig(warmup_tuples=10, **TINY)
         result = run_experiment(config)
         assert result.warmup_baseline["published_tuples"] == 10
-        assert result.baseline["total_messages"] >= result.warmup_baseline["total_messages"]
+        assert (
+            result.baseline["total_messages"]
+            >= result.warmup_baseline["total_messages"]
+        )
         assert result.messages_tuple_phase <= result.messages_total
         assert result.qpl_per_node >= 0.0
 
@@ -69,7 +72,11 @@ class TestRunExperiment:
         assert result.summary["current_storage"] <= result.summary["total_storage"]
 
     def test_strategies_affect_load(self):
-        rjoin = run_experiment(ExperimentConfig(strategy="rjoin", warmup_tuples=10, **TINY))
-        worst = run_experiment(ExperimentConfig(strategy="worst", warmup_tuples=10, **TINY))
+        rjoin = run_experiment(
+            ExperimentConfig(strategy="rjoin", warmup_tuples=10, **TINY)
+        )
+        worst = run_experiment(
+            ExperimentConfig(strategy="worst", warmup_tuples=10, **TINY)
+        )
         # With informed decisions the worst strategy must not beat RJoin.
         assert worst.summary["total_qpl"] >= rjoin.summary["total_qpl"]

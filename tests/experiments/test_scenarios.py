@@ -13,7 +13,19 @@ from repro.experiments.scenarios import (
 from repro.experiments.config import ExperimentConfig
 from repro.sql.ast import WindowSpec
 
-EXPLORATORY = ("baseline", "skew-sweep", "window-churn", "bursty", "query-flood", "hot-key")
+EXPLORATORY = (
+    "baseline",
+    "skew-sweep",
+    "window-churn",
+    "bursty",
+    "query-flood",
+    "hot-key",
+    "node-churn",
+    "query-churn",
+    "owner-failover",
+    "latency",
+    "store-backends",
+)
 FIGURES = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9")
 
 
@@ -123,7 +135,9 @@ class TestScenarioSemantics:
 class TestCustomScenario:
     def test_variant_apply(self):
         base = ExperimentConfig(num_nodes=16, num_queries=10, num_tuples=10)
-        variant = Variant(label="w", overrides={"window": WindowSpec(size=5, mode="tuples")})
+        variant = Variant(
+            label="w", overrides={"window": WindowSpec(size=5, mode="tuples")}
+        )
         config = variant.apply(base)
         assert config.window.size == 5
 

@@ -49,8 +49,14 @@ class TestParser:
         query = parse_query(
             "SELECT S.B FROM S, P WHERE 3 = S.A AND P.B = 7 AND S.B = P.B"
         )
-        assert SelectionPredicate(AttributeRef("S", "A"), 3) in query.selection_predicates
-        assert SelectionPredicate(AttributeRef("P", "B"), 7) in query.selection_predicates
+        assert (
+            SelectionPredicate(AttributeRef("S", "A"), 3)
+            in query.selection_predicates
+        )
+        assert (
+            SelectionPredicate(AttributeRef("P", "B"), 7)
+            in query.selection_predicates
+        )
         assert query.num_joins == 1
 
     def test_string_literals(self):

@@ -52,7 +52,9 @@ class TestQueryGeneration:
 
     def test_window_and_distinct_propagate(self):
         window = WindowSpec(size=50, mode="tuples")
-        generator = WorkloadGenerator(WorkloadSpec(window=window, distinct=True, seed=4))
+        generator = WorkloadGenerator(
+            WorkloadSpec(window=window, distinct=True, seed=4)
+        )
         query = generator.generate_query()
         assert query.window == window
         assert query.distinct
