@@ -6,6 +6,8 @@ and in operations per second:
 * ``add`` — insertion throughput (the sqlite backend amortises this through
   its batched write buffer, so the flush cost is included),
 * ``prefix_match`` — attribute-level prefix lookups over a populated store,
+* ``batch_match`` — the same lookups through the set-at-a-time
+  ``tuples_for_prefixes`` API, whole probe batches per call,
 * ``window_gc`` — ``remove_published_before`` ticks interleaved with fresh
   writes, the window-churn pressure pattern (this is what triggers
   compaction in the append-log backend),
@@ -19,6 +21,10 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_store_backends.py [--smoke]
         [--tuples N] [--lookups N] [--gc-ticks N]
+        [--compact-min-dead N] [--compact-fraction F]
+
+The ``--compact-*`` flags sweep the append-log compaction thresholds
+(they are ignored by the other backends).
 """
 
 from __future__ import annotations
@@ -29,7 +35,12 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.data.backends import BACKEND_NAMES, SEPARATOR, make_store
+from repro.data.backends import (
+    BACKEND_NAMES,
+    SEPARATOR,
+    StoreTuning,
+    make_store,
+)
 from repro.data.schema import RelationSchema
 from repro.data.tuples import Tuple
 
@@ -86,11 +97,15 @@ def _timed(operations: int, fn) -> Dict[str, float]:
     }
 
 
-def _measure_backend(backend: str, sizes: Dict[str, int]) -> Dict[str, object]:
+def _measure_backend(
+    backend: str,
+    sizes: Dict[str, int],
+    tuning: Optional[StoreTuning] = None,
+) -> Dict[str, object]:
     tuples = _make_tuples(sizes["tuples"])
 
     # add ------------------------------------------------------------------
-    store = make_store(backend)
+    store = make_store(backend, tuning=tuning)
 
     def _add() -> None:
         for tup in tuples:
@@ -111,6 +126,16 @@ def _measure_backend(backend: str, sizes: Dict[str, int]) -> Dict[str, object]:
 
     timing_prefix = _timed(lookups, _lookup)
 
+    # batch_match ----------------------------------------------------------
+    # Same probe volume, but whole batches through the set-at-a-time API.
+    batch_rounds = max(lookups // len(prefixes), 1)
+
+    def _batch_lookup() -> None:
+        for _ in range(batch_rounds):
+            store.tuples_for_prefixes(prefixes)
+
+    timing_batch = _timed(batch_rounds * len(prefixes), _batch_lookup)
+
     # window_gc ------------------------------------------------------------
     ticks = sizes["gc_ticks"]
     window = max(sizes["tuples"] // max(ticks, 1), 1)
@@ -122,14 +147,14 @@ def _measure_backend(backend: str, sizes: Dict[str, int]) -> Dict[str, object]:
     timing_gc = _timed(ticks, _gc)
 
     # rehome ---------------------------------------------------------------
-    source = make_store(backend)
+    source = make_store(backend, tuning=tuning)
     rehome_tuples = tuples[: max(sizes["tuples"] // 4, 1)]
     for tup in rehome_tuples:
         source.add(_key_of(tup), tup, now=tup.pub_time)
     # Settle the source's write buffer so the rehome window times only the
     # extraction + replay round trip, not the source's own pending inserts.
     source.flush()
-    target = make_store(backend)
+    target = make_store(backend, tuning=tuning)
 
     def _rehome() -> None:
         for key in list(source.keys()):
@@ -144,12 +169,14 @@ def _measure_backend(backend: str, sizes: Dict[str, int]) -> Dict[str, object]:
         "ops_per_sec": {
             "add": round(timing_add["rate"], 2),
             "prefix_match": round(timing_prefix["rate"], 2),
+            "batch_match": round(timing_batch["rate"], 2),
             "window_gc": round(timing_gc["rate"], 2),
             "rehome": round(timing_rehome["rate"], 2),
         },
         "seconds": {
             "add": timing_add["seconds"],
             "prefix_match": timing_prefix["seconds"],
+            "batch_match": timing_batch["seconds"],
             "window_gc": timing_gc["seconds"],
             "rehome": timing_rehome["seconds"],
         },
@@ -163,12 +190,29 @@ def _measure_backend(backend: str, sizes: Dict[str, int]) -> Dict[str, object]:
     return result
 
 
-def run_bench(smoke: bool = False, **overrides) -> Dict[str, object]:
+def run_bench(
+    smoke: bool = False,
+    tuning: Optional[StoreTuning] = None,
+    **overrides,
+) -> Dict[str, object]:
     """Measure every backend; returns the JSON-safe report."""
     sizes = dict(SMOKE_SIZES if smoke else DEFAULT_SIZES)
     sizes.update({k: v for k, v in overrides.items() if v is not None})
-    results = [_measure_backend(backend, sizes) for backend in BACKEND_NAMES]
-    return {"smoke": smoke, "parameters": sizes, "results": results}
+    results = [
+        _measure_backend(backend, sizes, tuning=tuning)
+        for backend in BACKEND_NAMES
+    ]
+    report: Dict[str, object] = {
+        "smoke": smoke,
+        "parameters": sizes,
+        "results": results,
+    }
+    if tuning is not None:
+        report["tuning"] = {
+            "compact_min_dead": tuning.compact_min_dead,
+            "compact_dead_fraction": tuning.compact_dead_fraction,
+        }
+    return report
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -179,11 +223,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--tuples", type=int, default=None)
     parser.add_argument("--lookups", type=int, default=None)
     parser.add_argument("--gc-ticks", dest="gc_ticks", type=int, default=None)
+    parser.add_argument(
+        "--compact-min-dead", dest="compact_min_dead", type=int, default=None
+    )
+    parser.add_argument(
+        "--compact-fraction", dest="compact_fraction", type=float, default=None
+    )
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
 
+    tuning = None
+    if args.compact_min_dead is not None or args.compact_fraction is not None:
+        tuning = StoreTuning(
+            compact_min_dead=args.compact_min_dead or 64,
+            compact_dead_fraction=args.compact_fraction or 0.5,
+        )
     report = run_bench(
         smoke=args.smoke,
+        tuning=tuning,
         tuples=args.tuples,
         lookups=args.lookups,
         gc_ticks=args.gc_ticks,

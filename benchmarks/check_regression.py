@@ -32,7 +32,14 @@ Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
         --baseline benchmarks/baselines --candidate benchmarks/smoke-reports \
-        [--threshold 0.30] [--min-seconds 0.02]
+        [--threshold 0.30] [--min-seconds 0.02] \
+        [--require-gated BENCH_file.json/path/to/rate ...]
+
+``--require-gated`` (repeatable) names rates that MUST be gated: the run
+fails if such a rate is absent from the baselines or falls below the
+timing-window floor.  It pins the load-bearing rates — e.g. the sqlite
+``prefix_match`` throughput the set-at-a-time matching work targets — so a
+future change cannot silently shrink their windows out of the gate.
 """
 
 from __future__ import annotations
@@ -43,7 +50,7 @@ import re
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: A numeric leaf is a tracked rate when one of its path components matches.
 RATE_KEY = re.compile(r"^(ops_per_sec|\w*_per_second)$")
@@ -161,8 +168,14 @@ def check_directories(
     threshold: float,
     min_window: float = 0.02,
     out=sys.stdout,
+    require_gated: Sequence[str] = (),
 ) -> int:
-    """Compare every shared ``BENCH_*.json``; returns the exit code."""
+    """Compare every shared ``BENCH_*.json``; returns the exit code.
+
+    ``require_gated`` names full rate paths
+    (``BENCH_file.json/path/to/rate``) that must both exist in the
+    baselines and actually be gated (not skipped below the window floor).
+    """
     baseline_files = {p.name: p for p in sorted(baseline_dir.glob("BENCH_*.json"))}
     if not baseline_files:
         print(f"error: no BENCH_*.json baselines under {baseline_dir}", file=out)
@@ -170,6 +183,7 @@ def check_directories(
     failures: List[str] = []
     checked = 0
     ungated = 0
+    gated_paths: set = set()
     for name, baseline_path in baseline_files.items():
         candidate_path = candidate_dir / name
         if not candidate_path.exists():
@@ -182,6 +196,12 @@ def check_directories(
         )
         checked += len(base_rates) - len(skipped)
         ungated += len(skipped)
+        skipped_prefixes = {note.split(": ", 1)[0] for note in skipped}
+        gated_paths.update(
+            f"{name}{path}"
+            for path in base_rates
+            if path not in skipped_prefixes
+        )
         for problem in problems:
             failures.append(f"{name}{problem}")
         for note in skipped:
@@ -189,6 +209,12 @@ def check_directories(
         new = sorted(set(cand_rates) - set(base_rates))
         for path in new:
             print(f"note: {name}{path} is new (no baseline yet)", file=out)
+    for required in require_gated:
+        if required not in gated_paths:
+            failures.append(
+                f"{required}: required rate is not gated (missing from the "
+                "baselines or timed below the window floor)"
+            )
     if failures:
         print(f"\n{len(failures)} benchmark regression(s):", file=out)
         for failure in failures:
@@ -229,9 +255,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0.02,
         help="minimum timing window (s) for a rate to be gated (default 0.02)",
     )
+    parser.add_argument(
+        "--require-gated",
+        dest="require_gated",
+        action="append",
+        default=[],
+        metavar="FILE/PATH",
+        help="full rate path that must be present and gated (repeatable)",
+    )
     args = parser.parse_args(argv)
     return check_directories(
-        args.baseline, args.candidate, args.threshold, args.min_seconds
+        args.baseline,
+        args.candidate,
+        args.threshold,
+        args.min_seconds,
+        require_gated=args.require_gated,
     )
 
 

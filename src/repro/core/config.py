@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.data.backends import BACKEND_NAMES, DEFAULT_BACKEND
+from repro.data.backends import BACKEND_NAMES, DEFAULT_BACKEND, StoreTuning
 from repro.errors import ConfigurationError
 from repro.sql.ast import WindowSpec
 
@@ -38,6 +38,12 @@ class RJoinConfig:
         prefix-index store), ``sqlite`` (table-backed, index scans for
         prefix match and expiry) or ``append-log`` (append-only log with
         compaction); see :func:`repro.data.backends.make_store`.
+    append_log_compact_min_dead:
+        Tombstone floor below which the append-log backend never compacts
+        (only meaningful with ``store_backend="append-log"``).
+    append_log_compact_fraction:
+        Dead fraction of the append-log that triggers a compaction rewrite,
+        in ``(0, 1]``; lower values compact more aggressively.
     allow_attribute_level_rewrites:
         Whether rewritten queries may also be indexed at the attribute level
         (candidate family (a) of Section 6).  Attribute-level rewritten
@@ -93,6 +99,8 @@ class RJoinConfig:
     delay_jitter: float = 0.0
     strategy: str = "rjoin"
     store_backend: str = DEFAULT_BACKEND
+    append_log_compact_min_dead: int = 64
+    append_log_compact_fraction: float = 0.5
     allow_attribute_level_rewrites: bool = False
     altt_delta: Union[str, float, None] = AUTO
     count_altt_in_storage: bool = False
@@ -119,6 +127,9 @@ class RJoinConfig:
             raise ConfigurationError(
                 f"unknown store backend {self.store_backend!r}; known: {known}"
             )
+        # Delegates range validation of the compaction knobs to StoreTuning,
+        # so engine- and store-level construction reject the same values.
+        self.store_tuning
         if isinstance(self.altt_delta, str) and self.altt_delta != AUTO:
             raise ConfigurationError(
                 f"altt_delta must be a number, None or {AUTO!r}"
@@ -135,6 +146,14 @@ class RJoinConfig:
             raise ConfigurationError("rebalance_every_tuples must be positive")
         if not 0 < self.light_load_factor <= 1:
             raise ConfigurationError("light_load_factor must be in (0, 1]")
+
+    @property
+    def store_tuning(self) -> StoreTuning:
+        """The backend tuning knobs packaged for the store factory."""
+        return StoreTuning(
+            compact_min_dead=self.append_log_compact_min_dead,
+            compact_dead_fraction=self.append_log_compact_fraction,
+        )
 
     def resolve_altt_delta(self, max_transit_delay: float) -> Optional[float]:
         """Translate the configured Δ into a concrete retention time.

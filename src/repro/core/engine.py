@@ -108,6 +108,7 @@ class RJoinEngine:
             collect_answer=self._collect_answer,
             altt_delta=altt_delta,
             store_backend=self.config.store_backend,
+            store_tuning=self.config.store_tuning,
             # Lifecycle callbacks resolve ``self.lifecycle`` / ``self.churn``
             # lazily: the context must exist before either does.
             resolve_owner=lambda query_id, default: self.lifecycle.resolve_owner(
@@ -391,6 +392,11 @@ class RJoinEngine:
         self._published += len(published)
         if process:
             self.run()
+            # One write transaction per node per batch: disk backends buffer
+            # their inserts, so the whole drain's fan-out lands with a single
+            # flush here instead of a lazy flush on the next probe.
+            for node in self.nodes.values():
+                node.tuple_store.flush()
         self._maybe_gc(published_before)
         self._maybe_rebalance(published_before)
         return published

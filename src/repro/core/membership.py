@@ -206,6 +206,10 @@ class MembershipManager:
         moved_by_kind: Dict[str, int] = {}
         bytes_moved = 0
         delivered = 0
+        # Group the consignment per owning node first, so each target adopts
+        # its share through the batch path (one store transaction per node)
+        # instead of item-at-a-time.
+        by_owner: Dict[str, List["RehomedItem"]] = {}
         for item in pending:
             if item.kind == "registration":
                 home = (
@@ -218,17 +222,17 @@ class MembershipManager:
                 owner = home
             else:
                 owner = self.owner_of(item.key_text)
-            try:
-                target = self.nodes[owner]
-            except KeyError:
+            if owner not in self.nodes:
                 raise EngineError(
                     f"re-homing target {owner!r} for key {item.key_text!r} "
                     "has no application-layer node registered"
-                ) from None
-            target.accept_rehomed(item)
+                )
+            by_owner.setdefault(owner, []).append(item)
             delivered += 1
             moved_by_kind[item.kind] = moved_by_kind.get(item.kind, 0) + 1
             bytes_moved += estimate_item_bytes(item)
+        for owner, items in by_owner.items():
+            self.nodes[owner].accept_rehomed_batch(items)
         return RehomeReport(
             records_moved=delivered,
             bytes_moved=bytes_moved,

@@ -59,7 +59,13 @@ from repro.core.strategy import (
 )
 from repro.core.windows import admits, expired, extend
 from repro.core.config import RJoinConfig
-from repro.data.backends import DEFAULT_BACKEND, StoreBackend, make_store
+from repro.data.backends import (
+    DEFAULT_BACKEND,
+    PREFIX_PROBE,
+    StoreBackend,
+    StoreTuning,
+    make_store,
+)
 from repro.data.schema import Catalog
 from repro.data.store import StoredTuple
 from repro.data.tuples import Tuple
@@ -93,6 +99,9 @@ class NodeContext:
     #: Tuple-store backend every node of the engine builds its local store
     #: from (see :func:`repro.data.backends.make_store`).
     store_backend: str = DEFAULT_BACKEND
+    #: Backend tuning knobs (compaction thresholds) forwarded to the store
+    #: factory; ``None`` keeps each backend's defaults.
+    store_tuning: Optional[StoreTuning] = None
     # Query lifecycle services (retraction + owner failover) ---------------
     #: ``(query_id, fallback) -> current owner address``: producers resolve
     #: the live owner at answer-emission time so failover re-registrations
@@ -265,7 +274,9 @@ class RJoinNode:
         # Stored state ----------------------------------------------------
         self.input_queries = QueryTable()
         self.rewritten_queries = QueryTable()
-        self.tuple_store: StoreBackend = make_store(ctx.store_backend)
+        self.tuple_store: StoreBackend = make_store(
+            ctx.store_backend, tuning=ctx.store_tuning
+        )
         self.altt = AttributeLevelTupleTable(delta=ctx.altt_delta)
         # RIC state ---------------------------------------------------------
         self.rates = RateTracker(window=ctx.config.ric_window)
@@ -378,8 +389,11 @@ class RJoinNode:
         if not records:
             return
         schema = self.ctx.catalog.get(tup.relation)
-        survivors: List[StoredQueryRecord] = []
-        for record in records:
+        # The survivor list is only materialised lazily, on the first expiry:
+        # the common case (nothing aged out) must not allocate and rebuild a
+        # fresh list on every tuple arrival.
+        survivors: Optional[List[StoredQueryRecord]] = None
+        for index, record in enumerate(records):
             window = record.state.query.window
             # Sliding-window garbage collection: a rewritten query whose
             # oldest consumed tuple has aged out of the window can never be
@@ -387,10 +401,14 @@ class RJoinNode:
             if not record.state.is_input and window is not None:
                 if expired(window, record.state.window_state, window.clock_of(tup)):
                     self.ctx.loads.record_query_dropped(self.address)
+                    if survivors is None:
+                        survivors = list(records[:index])
                     continue
-            survivors.append(record)
+            if survivors is not None:
+                survivors.append(record)
             self._try_trigger(record, tup, schema)
-        table.replace(key_text, survivors)
+        if survivors is not None:
+            table.replace(key_text, survivors)
 
     def _try_trigger(self, record: StoredQueryRecord, tup: Tuple, schema) -> None:
         """Apply the trigger conditions and, if satisfied, rewrite and re-index."""
@@ -528,8 +546,12 @@ class RJoinNode:
             return self.tuple_store.tuples_for_key(key.text)
         # Attribute-level rewritten query: scan every value-level copy of the
         # relation-attribute pair plus the ALTT, deduplicating publications.
+        # Routed through the set-at-a-time API so disk backends serve it from
+        # their batch/memo path.
         now = self.ctx.clock()
-        tuples = self.tuple_store.tuples_for_prefix(key.attribute_prefix)
+        (tuples,) = self.tuple_store.match_batch(
+            ((PREFIX_PROBE, key.attribute_prefix),)
+        )
         seen = {tup.identity for tup in tuples}
         extras: List[Tuple] = []
         for tup in self.altt.find(key.text, now):
@@ -800,8 +822,8 @@ class RJoinNode:
         cleared with them (it only informs indexing decisions of queries).
         Returns the number of reclaimed records.
         """
-        tuples_dropped = self.tuple_store.remove_published_before(
-            published_before
+        tuples_dropped = self.tuple_store.remove_expired(
+            published_before=published_before
         )
         if tuples_dropped:
             self.ctx.loads.record_tuple_dropped(self.address, tuples_dropped)
@@ -842,9 +864,13 @@ class RJoinNode:
             # tuple_expired(window, tup, clock) <=> clock_of(tup) < cutoff.
             cutoff = self._window_clock(gc_window) - gc_window.size + 1
             if gc_window.mode == "time":
-                tuples_dropped = self.tuple_store.remove_published_before(cutoff)
+                tuples_dropped = self.tuple_store.remove_expired(
+                    published_before=cutoff
+                )
             else:
-                tuples_dropped = self.tuple_store.remove_sequenced_before(cutoff)
+                tuples_dropped = self.tuple_store.remove_expired(
+                    sequenced_before=int(cutoff)
+                )
             if tuples_dropped:
                 self.ctx.loads.record_tuple_dropped(self.address, tuples_dropped)
         return queries_dropped, tuples_dropped
@@ -973,6 +999,24 @@ class RJoinNode:
                 f"{item.key_text!r}; expected one of 'input', 'rewritten', "
                 "'tuple', 'altt' or 'registration'"
             )
+
+    def accept_rehomed_batch(self, items: List[RehomedItem]) -> None:
+        """Adopt a whole consignment of re-homed items in one pass.
+
+        Tuple records — the bulk of any re-homing under churn — go through
+        the store's batch ingestion API so disk backends land them in one
+        write transaction; every other kind falls back to the per-item path.
+        """
+        entries: List[TupleT[str, Tuple, float]] = []
+        for item in items:
+            if item.kind == "tuple":
+                record = item.payload
+                assert isinstance(record, StoredTuple)
+                entries.append((item.key_text, record.tuple, record.stored_at))
+            else:
+                self.accept_rehomed(item)
+        if entries:
+            self.tuple_store.add_batch(entries)
 
     # ------------------------------------------------------------------
     # introspection

@@ -31,19 +31,27 @@ backends):
   re-homing can replay them into another node's backend — of any kind,
 * ``len(store)`` counts stored entries (one per ``(key, identity)`` slot),
   :meth:`StoreBackend.distinct_tuples` counts distinct publications, and
-  :attr:`StoreBackend.cumulative_stored` survives :meth:`StoreBackend.clear`.
+  :attr:`StoreBackend.cumulative_stored` survives :meth:`StoreBackend.clear`,
+* the set-at-a-time operations (:meth:`StoreBackend.add_batch`,
+  :meth:`StoreBackend.match_batch` / :meth:`StoreBackend.tuples_for_prefixes`
+  and the ranged :meth:`StoreBackend.remove_expired`) are answer-equivalent
+  to their per-item counterparts — they exist so disk backends can serve a
+  whole drain tick's probes without a per-record Python round trip.
 """
 
 from __future__ import annotations
 
 import abc
+import heapq
 from dataclasses import dataclass
 from typing import (
     ClassVar,
+    Dict,
     Iterable,
     Iterator,
     List,
     Optional,
+    Sequence,
     Set,
     TYPE_CHECKING,
     Tuple as TupleT,
@@ -69,6 +77,34 @@ BACKEND_NAMES: TupleT[str, ...] = (
 )
 
 DEFAULT_BACKEND = MEMORY_BACKEND
+
+#: Probe kinds accepted by :meth:`StoreBackend.match_batch`.
+KEY_PROBE = "key"
+PREFIX_PROBE = "prefix"
+
+
+@dataclass(frozen=True)
+class StoreTuning:
+    """Backend tuning knobs threaded through :func:`make_store`.
+
+    Currently these parameterise the append-log backend's compaction
+    trigger (a rewrite fires once at least ``compact_min_dead`` slots are
+    tombstoned *and* the dead fraction of the log reaches
+    ``compact_dead_fraction``); backends without matching knobs ignore the
+    tuning.  The benchmark harness sweeps these to study the compaction
+    trade-off.
+    """
+
+    compact_min_dead: int = 64
+    compact_dead_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.compact_min_dead < 1:
+            raise ConfigurationError("compact_min_dead must be at least one")
+        if not 0.0 < self.compact_dead_fraction <= 1.0:
+            raise ConfigurationError(
+                "compact_dead_fraction must lie in (0, 1]"
+            )
 
 
 @dataclass
@@ -114,11 +150,9 @@ def merge_records(lists: List[List[StoredTuple]]) -> List["Tuple"]:
     if len(lists) == 1:
         merged: Iterable[StoredTuple] = lists[0]
     else:
-        combined: List[StoredTuple] = []
-        for records in lists:
-            combined.extend(records)
-        combined.sort(key=record_order)
-        merged = combined
+        # k-way merge of already sorted per-key lists: O(n log k) and no
+        # intermediate concatenated copy.
+        merged = heapq.merge(*lists, key=record_order)
     seen: Set[TupleT[str, int]] = set()
     result: List["Tuple"] = []
     for record in merged:
@@ -190,6 +224,70 @@ class StoreBackend(abc.ABC):
         """Return whether any tuple is stored under ``key``."""
 
     # ------------------------------------------------------------------
+    # set-at-a-time operations
+    # ------------------------------------------------------------------
+    # Every batch method has a per-item default so the contract stays
+    # backward-compatible: a backend only overrides what it can genuinely
+    # serve set-at-a-time (the sqlite backend answers a whole probe batch
+    # with one SQL statement; the append-log backend merges sorted position
+    # lists and batches tombstone writes).
+
+    def add_batch(
+        self, entries: Iterable[TupleT[str, "Tuple", float]]
+    ) -> List[StoredTuple]:
+        """Store ``(key, tuple, now)`` entries; returns the stored records."""
+        return [self.add(key, tup, now) for key, tup, now in entries]
+
+    def match_batch(
+        self, probes: Sequence[TupleT[str, str]]
+    ) -> List[List["Tuple"]]:
+        """Serve a batch of probes, one result list per probe (in order).
+
+        Each probe is ``(kind, text)`` with kind :data:`KEY_PROBE` (exact
+        key, publication order, no dedup — same as :meth:`tuples_for_key`)
+        or :data:`PREFIX_PROBE` (same as :meth:`tuples_for_prefix`:
+        identity-deduplicated, publication order).
+        """
+        results: List[List["Tuple"]] = []
+        for kind, text in probes:
+            if kind == KEY_PROBE:
+                results.append(self.tuples_for_key(text))
+            elif kind == PREFIX_PROBE:
+                results.append(self.tuples_for_prefix(text))
+            else:
+                raise ConfigurationError(
+                    f"unknown probe kind {kind!r}; expected "
+                    f"{KEY_PROBE!r} or {PREFIX_PROBE!r}"
+                )
+        return results
+
+    def tuples_for_prefixes(
+        self, prefixes: Sequence[str]
+    ) -> Dict[str, List["Tuple"]]:
+        """Resolve several prefixes at once: ``prefix -> matching tuples``."""
+        texts = list(prefixes)
+        matched = self.match_batch([(PREFIX_PROBE, text) for text in texts])
+        return dict(zip(texts, matched))
+
+    def remove_expired(
+        self,
+        published_before: Optional[float] = None,
+        sequenced_before: Optional[int] = None,
+    ) -> int:
+        """Ranged GC: drop records behind either cutoff in one sweep.
+
+        The union of :meth:`remove_published_before` and
+        :meth:`remove_sequenced_before` (both strict); disk backends turn
+        the combined predicate into a single ranged ``DELETE``.
+        """
+        removed = 0
+        if published_before is not None:
+            removed += self.remove_published_before(published_before)
+        if sequenced_before is not None:
+            removed += self.remove_sequenced_before(sequenced_before)
+        return removed
+
+    # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
     @abc.abstractmethod
@@ -223,11 +321,15 @@ class StoreBackend(abc.ABC):
         """Release external resources held by the backend (no-op default)."""
 
 
-def make_store(backend: str = DEFAULT_BACKEND) -> StoreBackend:
+def make_store(
+    backend: str = DEFAULT_BACKEND, tuning: Optional[StoreTuning] = None
+) -> StoreBackend:
     """Build a fresh store of the requested backend kind.
 
     Implementations are imported lazily so that selecting ``memory`` never
     pays for the alternatives (and so this module stays import-cycle free).
+    ``tuning`` carries backend knobs (see :class:`StoreTuning`); backends
+    without matching knobs ignore it.
     """
     if backend == MEMORY_BACKEND:
         from repro.data.store import TupleStore
@@ -240,6 +342,11 @@ def make_store(backend: str = DEFAULT_BACKEND) -> StoreBackend:
     if backend == APPEND_LOG_BACKEND:
         from repro.data.append_log import AppendLogTupleStore
 
+        if tuning is not None:
+            return AppendLogTupleStore(
+                compact_min_dead=tuning.compact_min_dead,
+                compact_dead_fraction=tuning.compact_dead_fraction,
+            )
         return AppendLogTupleStore()
     known = ", ".join(BACKEND_NAMES)
     raise ConfigurationError(

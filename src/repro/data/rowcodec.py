@@ -1,0 +1,126 @@
+"""Packed row encoding for tuple values (the sqlite payload format).
+
+The sqlite backend used to serialize every stored tuple's values with
+:mod:`pickle`, which put a C-extension round trip (plus object graph
+traversal) on the per-record hot path of prefix matching.  This module
+replaces it with a schema-aware packed encoding tuned for the values the
+workload actually produces:
+
+* ``I`` — the homogeneous fast path: every value is a plain ``int`` fitting
+  a signed 64-bit word.  The payload is one ``struct`` pack of the whole
+  row, so both directions are a single C call.
+* ``V`` — mixed scalars: a one-byte tag per value (``n`` None, ``t``/``f``
+  booleans, ``i`` int64, ``d`` float, ``s`` UTF-8 string, ``b`` bytes with
+  a 4-byte length prefix each for the variable-width kinds).
+* ``P`` — the compatibility fallback: any value outside the scalar kinds
+  above (nested containers, arbitrary objects, ints beyond 64 bits) pickles
+  the whole row, so exotic values still round-trip exactly — the
+  cross-backend answer-equality tests rely on that.
+
+The first byte of every payload is the format marker, so the three formats
+can coexist in one table and the decoder never guesses.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Dict, Tuple as TupleT
+
+__all__ = ["pack_values", "unpack_values"]
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+#: Cached whole-row Struct per arity for the homogeneous-int fast path.
+_ROW_STRUCTS: Dict[int, struct.Struct] = {}
+
+_Q = struct.Struct(">q")   # int64
+_D = struct.Struct(">d")   # float
+_L = struct.Struct(">I")   # length prefix
+
+
+def _row_struct(arity: int) -> struct.Struct:
+    cached = _ROW_STRUCTS.get(arity)
+    if cached is None:
+        cached = _ROW_STRUCTS[arity] = struct.Struct(f">{arity}q")
+    return cached
+
+
+def _pickle_row(values: TupleT) -> bytes:
+    return b"P" + pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def pack_values(values: TupleT) -> bytes:
+    """Encode a row of tuple values into the packed payload format."""
+    # Fast path: all plain ints within int64 (bool is excluded — it would
+    # silently decode as int and break exact round-tripping).
+    if all(
+        type(value) is int and _INT64_MIN <= value <= _INT64_MAX
+        for value in values
+    ):
+        return b"I" + _row_struct(len(values)).pack(*values)
+    parts = [b"V"]
+    for value in values:
+        kind = type(value)
+        if kind is int:
+            if not _INT64_MIN <= value <= _INT64_MAX:
+                return _pickle_row(values)
+            parts.append(b"i" + _Q.pack(value))
+        elif kind is str:
+            encoded = value.encode("utf-8")
+            parts.append(b"s" + _L.pack(len(encoded)) + encoded)
+        elif kind is float:
+            parts.append(b"d" + _D.pack(value))
+        elif value is None:
+            parts.append(b"n")
+        elif value is True:
+            parts.append(b"t")
+        elif value is False:
+            parts.append(b"f")
+        elif kind is bytes:
+            parts.append(b"b" + _L.pack(len(value)) + value)
+        else:
+            return _pickle_row(values)
+    return b"".join(parts)
+
+
+def unpack_values(payload: bytes) -> TupleT:
+    """Decode a payload produced by :func:`pack_values`."""
+    marker = payload[0]
+    if marker == 73:  # b"I"
+        return _row_struct((len(payload) - 1) >> 3).unpack_from(payload, 1)
+    if marker == 80:  # b"P"
+        return pickle.loads(payload[1:])
+    # b"V": walk the tagged scalars.
+    values = []
+    offset = 1
+    length = len(payload)
+    while offset < length:
+        tag = payload[offset]
+        offset += 1
+        if tag == 105:  # i
+            values.append(_Q.unpack_from(payload, offset)[0])
+            offset += 8
+        elif tag == 115:  # s
+            (size,) = _L.unpack_from(payload, offset)
+            offset += 4
+            values.append(payload[offset : offset + size].decode("utf-8"))
+            offset += size
+        elif tag == 100:  # d
+            values.append(_D.unpack_from(payload, offset)[0])
+            offset += 8
+        elif tag == 110:  # n
+            values.append(None)
+        elif tag == 116:  # t
+            values.append(True)
+        elif tag == 102:  # f
+            values.append(False)
+        elif tag == 98:  # b
+            (size,) = _L.unpack_from(payload, offset)
+            offset += 4
+            values.append(bytes(payload[offset : offset + size]))
+            offset += size
+        else:  # pragma: no cover - corrupt payload
+            raise ValueError(f"unknown row-codec tag {tag!r}")
+    return tuple(values)

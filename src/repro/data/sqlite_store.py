@@ -13,33 +13,52 @@ one SQLite table whose indexes make every hot operation an index scan —
 * ``(key, pub_time, sequence)`` serves exact-key lookups in publication
   order without re-sorting.
 
-Writes are *batched*: :meth:`SqliteTupleStore.add` only appends to a pending
-buffer, and the buffer is flushed inside a single transaction the first time
-a read or removal needs to see it.  Under the engine's batched publish path
-(``RJoinEngine.publish_batch``) every tuple fan-out of one network drain
-lands in one ``executemany`` per node — one transaction per batch instead of
-one per record.
+Matching is *set-at-a-time*: a probe batch
+(:meth:`SqliteTupleStore.match_batch`) is answered by one compound SQL
+statement — an exact-key ``IN`` arm unioned with an attribute-bucket arm
+whose identity deduplication happens SQL-side (``GROUP BY rel, sequence``)
+— instead of one query plus a Python dedup loop per probe.  Canonical
+bucket results are additionally memoised per ``relation SEP attribute SEP``
+bucket, maintained incrementally on writes and dropped on deletes (the same
+scheme the ``memory`` backend's prefix cache uses), so steady-state probing
+costs a dict hit rather than a decode of every matching row.
 
-Tuple values are serialized with :mod:`pickle` so arbitrary Python values
-round-trip exactly (the cross-backend answer-equality tests rely on this).
+Tuple values are serialized with the packed row codec
+(:mod:`repro.data.rowcodec`): plain scalar rows take the ``struct`` fast
+path and anything exotic falls back to a whole-row pickle, so arbitrary
+Python values still round-trip exactly (the cross-backend answer-equality
+tests rely on this).  Writes are *batched*:
+:meth:`SqliteTupleStore.add` only appends to a pending buffer, and the
+buffer is flushed inside a single ``executemany`` transaction the first
+time a read or removal needs to see it.  Under the engine's batched publish
+path (``RJoinEngine.publish_batch``) every tuple fan-out of one network
+drain lands in one transaction per node.  Window and sequence GC are single
+ranged ``DELETE``\\ s (:meth:`SqliteTupleStore.remove_expired` combines both
+cutoffs into one statement).
+
 By default the database lives in memory (``:memory:``); pass a path to put
 it on disk and study out-of-core behaviour.
 """
 
 from __future__ import annotations
 
-import pickle
+from bisect import insort
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as TupleT
+
 import sqlite3
-from typing import Iterable, Iterator, List, Tuple as TupleT
 
 from repro.data.backends import (
+    KEY_PROBE,
+    PREFIX_PROBE,
     SEPARATOR,
     StoreBackend,
     StoredTuple,
     bucket_of,
     merge_records,
 )
+from repro.data.rowcodec import pack_values, unpack_values
 from repro.data.tuples import Tuple
+from repro.errors import ConfigurationError
 
 _SCHEMA = """
 CREATE TABLE records (
@@ -64,6 +83,16 @@ CREATE INDEX idx_records_seq ON records (sequence);
 #: Column list of every record-returning SELECT, in `_record_from_row` order.
 _RECORD_COLUMNS = "key, rel, sequence, pub_time, stored_at, publisher, payload"
 
+#: Tuple-only column list of the deduplicating bucket SELECTs.
+_TUPLE_COLUMNS = "rel, sequence, pub_time, publisher, payload"
+
+#: Probes per compound-statement chunk; keys cost one SQL parameter each and
+#: buckets two, so the worst-case chunk stays far below SQLite's historical
+#: 999-parameter floor.
+_PROBE_CHUNK = 400
+
+_tuple_order = (lambda t: (t.pub_time, t.sequence))
+
 
 class SqliteTupleStore(StoreBackend):
     """Key-addressed tuple storage backed by a SQLite table."""
@@ -82,6 +111,12 @@ class SqliteTupleStore(StoreBackend):
         self._pending: List[TupleT] = []
         self._size = 0
         self._stored_total = 0
+        # Memoised canonical-bucket results (deduplicated, publication
+        # order) plus the identity set backing each list.  Maintained
+        # incrementally on add(), popped per bucket on keyed deletes and
+        # cleared wholesale on ranged deletes.
+        self._bucket_cache: Dict[str, List[Tuple]] = {}
+        self._bucket_seen: Dict[str, Set[TupleT[str, int]]] = {}
 
     # ------------------------------------------------------------------
     # mutation
@@ -89,7 +124,8 @@ class SqliteTupleStore(StoreBackend):
     def add(self, key: str, tup: Tuple, now: float) -> StoredTuple:
         """Store ``tup`` under ``key`` and return the stored record."""
         relation = attribute = value = None
-        if bucket_of(key) is not None:
+        bucket = bucket_of(key)
+        if bucket is not None:
             relation, attribute, value = key.split(SEPARATOR, 2)
         self._pending.append(
             (
@@ -102,15 +138,44 @@ class SqliteTupleStore(StoreBackend):
                 tup.pub_time,
                 now,
                 tup.publisher,
-                pickle.dumps(tup.values, protocol=pickle.HIGHEST_PROTOCOL),
+                pack_values(tup.values),
             )
         )
         self._size += 1
         self._stored_total += 1
+        if bucket is not None:
+            cached = self._bucket_cache.get(bucket)
+            if cached is not None:
+                self._cache_admit(bucket, cached, tup)
         return StoredTuple(tuple=tup, key=key, stored_at=now)
 
+    def _cache_admit(self, bucket: str, cached: List[Tuple], tup: Tuple) -> None:
+        """Fold a fresh write into an already-memoised bucket result."""
+        seen = self._bucket_seen[bucket]
+        identity = tup.identity
+        if identity in seen:
+            return
+        seen.add(identity)
+        if not cached or _tuple_order(cached[-1]) <= _tuple_order(tup):
+            cached.append(tup)
+        else:
+            insort(cached, tup, key=_tuple_order)
+
+    def _drop_bucket(self, key: str) -> None:
+        """Invalidate the memoised bucket covering ``key`` (keyed deletes)."""
+        if not self._bucket_cache:
+            return
+        bucket = bucket_of(key)
+        if bucket is not None:
+            self._bucket_cache.pop(bucket, None)
+            self._bucket_seen.pop(bucket, None)
+
+    def _drop_all_buckets(self) -> None:
+        self._bucket_cache.clear()
+        self._bucket_seen.clear()
+
     def flush(self) -> None:
-        """Write the pending buffer in one transaction."""
+        """Write the pending buffer in one ``executemany`` transaction."""
         if not self._pending:
             return
         self._conn.execute("BEGIN")
@@ -132,9 +197,12 @@ class SqliteTupleStore(StoreBackend):
 
     def remove_older_than(self, key: str, cutoff: float) -> int:
         """Drop tuples under ``key`` stored strictly before ``cutoff``."""
-        return self._delete(
+        removed = self._delete(
             "DELETE FROM records WHERE key = ? AND stored_at < ?", (key, cutoff)
         )
+        if removed:
+            self._drop_bucket(key)
+        return removed
 
     def remove_published_before(self, cutoff: float) -> int:
         """Drop every tuple published strictly before ``cutoff``.
@@ -142,23 +210,51 @@ class SqliteTupleStore(StoreBackend):
         An index range-scan on ``(pub_time, sequence)`` — no Python-side
         bookkeeping is needed because the index *is* the expiry order.
         """
-        return self._delete("DELETE FROM records WHERE pub_time < ?", (cutoff,))
+        return self.remove_expired(published_before=cutoff)
 
     def remove_sequenced_before(self, cutoff: float) -> int:
         """Drop every tuple whose sequence number is strictly below ``cutoff``."""
-        return self._delete("DELETE FROM records WHERE sequence < ?", (cutoff,))
+        return self.remove_expired(sequenced_before=cutoff)
+
+    def remove_expired(
+        self,
+        published_before: Optional[float] = None,
+        sequenced_before: Optional[int] = None,
+    ) -> int:
+        """Both window-expiry orders as one ranged ``DELETE``."""
+        conditions: List[str] = []
+        parameters: List[object] = []
+        if published_before is not None:
+            conditions.append("pub_time < ?")
+            parameters.append(published_before)
+        if sequenced_before is not None:
+            conditions.append("sequence < ?")
+            parameters.append(sequenced_before)
+        if not conditions:
+            return 0
+        removed = self._delete(
+            "DELETE FROM records WHERE " + " OR ".join(conditions),
+            tuple(parameters),
+        )
+        if removed:
+            # A ranged delete can touch any bucket; recomputing the affected
+            # set would cost a scan, so drop the whole memo.
+            self._drop_all_buckets()
+        return removed
 
     def remove_key(self, key: str) -> List[StoredTuple]:
         """Remove and return every record stored under ``key`` (re-homing)."""
         records = self.records_for_key(key)
         if records:
             self._delete("DELETE FROM records WHERE key = ?", (key,))
+            self._drop_bucket(key)
         return records
 
     def clear(self) -> None:
         """Remove every stored tuple (does not reset cumulative counters)."""
         self._pending.clear()
         self._conn.execute("DELETE FROM records")
+        self._drop_all_buckets()
         self._size = 0
 
     # ------------------------------------------------------------------
@@ -169,12 +265,23 @@ class SqliteTupleStore(StoreBackend):
         key, rel, sequence, pub_time, stored_at, publisher, payload = row
         tup = Tuple(
             relation=rel,
-            values=pickle.loads(payload),
+            values=unpack_values(payload),
             pub_time=pub_time,
             sequence=sequence,
             publisher=publisher,
         )
         return StoredTuple(tuple=tup, key=key, stored_at=stored_at)
+
+    @staticmethod
+    def _tuple_from_row(row: TupleT) -> Tuple:
+        rel, sequence, pub_time, publisher, payload = row
+        return Tuple(
+            relation=rel,
+            values=unpack_values(payload),
+            pub_time=pub_time,
+            sequence=sequence,
+            publisher=publisher,
+        )
 
     def _select_records(self, where: str, parameters: TupleT) -> List[StoredTuple]:
         self.flush()
@@ -193,26 +300,141 @@ class SqliteTupleStore(StoreBackend):
         """The stored records under exactly ``key``, in publication order."""
         return self._select_records("key = ?", (key,))
 
+    def _bucket_tuples(self, prefix: str) -> List[Tuple]:
+        """Resolve (and memoise) one canonical bucket through SQL.
+
+        The ``GROUP BY rel, sequence`` performs the identity deduplication
+        SQL-side; the bare columns are safe because every row of one
+        identity group describes the same publication.
+        """
+        cached = self._bucket_cache.get(prefix)
+        if cached is not None:
+            return list(cached)
+        relation, attribute = prefix.split(SEPARATOR)[:2]
+        self.flush()
+        rows = self._conn.execute(
+            f"SELECT {_TUPLE_COLUMNS} FROM records "
+            "WHERE relation = ? AND attribute = ? "
+            "GROUP BY rel, sequence ORDER BY pub_time, sequence",
+            (relation, attribute),
+        )
+        result = [self._tuple_from_row(row) for row in rows]
+        self._bucket_cache[prefix] = result
+        self._bucket_seen[prefix] = {tup.identity for tup in result}
+        return list(result)
+
     def tuples_for_prefix(self, prefix: str) -> List[Tuple]:
         """Tuples under any key starting with ``prefix`` (deduplicated, ordered).
 
         Canonical attribute-level prefixes (``relation SEP attribute SEP``)
-        become an equality scan on the ``(relation, attribute, value)``
-        index; arbitrary prefixes fall back to a table scan.
+        hit the bucket memo, or one deduplicating equality scan on the
+        ``(relation, attribute, value)`` index; arbitrary prefixes fall back
+        to a table scan.
         """
         bucket = bucket_of(prefix)
         if bucket is not None and len(bucket) == len(prefix):
-            relation, attribute = prefix.split(SEPARATOR)[:2]
-            records = self._select_records(
-                "relation = ? AND attribute = ?", (relation, attribute)
-            )
-        else:
-            records = self._select_records(
-                "substr(key, 1, ?) = ?", (len(prefix), prefix)
-            )
+            return self._bucket_tuples(prefix)
+        records = self._select_records(
+            "substr(key, 1, ?) = ?", (len(prefix), prefix)
+        )
         # The SELECT already returns publication order; merge_records only
         # contributes the identity deduplication here.
         return merge_records([records])
+
+    def match_batch(
+        self, probes: Sequence[TupleT[str, str]]
+    ) -> List[List[Tuple]]:
+        """Serve a whole probe batch with one compound SQL statement.
+
+        Exact keys become an ``IN`` arm, canonical buckets an OR-chained
+        equality arm with SQL-side dedup; a probe-label column routes each
+        row back to its probe in a single ordered pass.  Bucket results
+        already memoised are served from the cache, and freshly computed
+        ones populate it.  Non-canonical prefixes fall back to the per-probe
+        scan path.
+        """
+        results: List[Optional[List[Tuple]]] = [None] * len(probes)
+        key_slots: Dict[str, List[int]] = {}
+        bucket_slots: Dict[str, List[int]] = {}
+        for index, (kind, text) in enumerate(probes):
+            if kind == KEY_PROBE:
+                key_slots.setdefault(text, []).append(index)
+            elif kind == PREFIX_PROBE:
+                bucket = bucket_of(text)
+                if bucket is not None and len(bucket) == len(text):
+                    cached = self._bucket_cache.get(text)
+                    if cached is not None:
+                        results[index] = list(cached)
+                    else:
+                        bucket_slots.setdefault(text, []).append(index)
+                else:
+                    results[index] = self.tuples_for_prefix(text)
+            else:
+                raise ConfigurationError(
+                    f"unknown probe kind {kind!r}; expected "
+                    f"{KEY_PROBE!r} or {PREFIX_PROBE!r}"
+                )
+        if key_slots or bucket_slots:
+            self.flush()
+            matched = self._matched_rows(list(key_slots), list(bucket_slots))
+            for text, indexes in key_slots.items():
+                tuples = matched.get("k" + text, [])
+                for index in indexes:
+                    results[index] = list(tuples) if len(indexes) > 1 else tuples
+            for text, indexes in bucket_slots.items():
+                tuples = matched.get("p" + text, [])
+                self._bucket_cache[text] = tuples
+                self._bucket_seen[text] = {tup.identity for tup in tuples}
+                for index in indexes:
+                    results[index] = list(tuples)
+        return results  # type: ignore[return-value]
+
+    def _matched_rows(
+        self, keys: List[str], buckets: List[str]
+    ) -> Dict[str, List[Tuple]]:
+        """``probe label -> tuples`` for one batch, via compound SELECTs.
+
+        Labels are ``"k" + key`` for exact keys and ``"p" + bucket`` for
+        canonical buckets.  Large batches are chunked to stay below SQLite's
+        bound-parameter limit.
+        """
+        matched: Dict[str, List[Tuple]] = {}
+        for start in range(0, max(len(keys), len(buckets)), _PROBE_CHUNK):
+            key_chunk = keys[start : start + _PROBE_CHUNK]
+            bucket_chunk = buckets[start : start + _PROBE_CHUNK]
+            arms: List[str] = []
+            parameters: List[object] = []
+            if key_chunk:
+                placeholders = ", ".join("?" * len(key_chunk))
+                arms.append(
+                    f"SELECT 'k' || key AS probe, {_TUPLE_COLUMNS} "
+                    f"FROM records WHERE key IN ({placeholders})"
+                )
+                parameters.extend(key_chunk)
+            if bucket_chunk:
+                pairs = " OR ".join(
+                    "(relation = ? AND attribute = ?)" for _ in bucket_chunk
+                )
+                arms.append(
+                    "SELECT 'p' || relation || ? || attribute || ? AS probe, "
+                    f"{_TUPLE_COLUMNS} FROM records "
+                    f"WHERE {pairs} GROUP BY relation, attribute, rel, sequence"
+                )
+                parameters.append(SEPARATOR)
+                parameters.append(SEPARATOR)
+                for bucket in bucket_chunk:
+                    relation, attribute = bucket.split(SEPARATOR)[:2]
+                    parameters.append(relation)
+                    parameters.append(attribute)
+            statement = (
+                " UNION ALL ".join(arms) + " ORDER BY probe, pub_time, sequence"
+            )
+            for row in self._conn.execute(statement, parameters):
+                probe = row[0]
+                matched.setdefault(probe, []).append(self._tuple_from_row(row[1:]))
+        for bucket in buckets:
+            matched.setdefault("p" + bucket, [])
+        return matched
 
     def has_key(self, key: str) -> bool:
         """Return whether any tuple is stored under ``key``."""

@@ -167,6 +167,11 @@ class ExperimentConfig:
     #: Node-local tuple-store backend (``memory`` / ``sqlite`` /
     #: ``append-log``) — the axis of the ``store-backends`` scenario.
     store_backend: str = DEFAULT_BACKEND
+    #: Append-log compaction knobs (tombstone floor and dead fraction),
+    #: sweepable by the store-backends benchmark; only meaningful with
+    #: ``store_backend="append-log"``.
+    append_log_compact_min_dead: int = 64
+    append_log_compact_fraction: float = 0.5
     # Workload ---------------------------------------------------------------
     num_queries: int = 500
     num_tuples: int = 100
@@ -233,6 +238,14 @@ class ExperimentConfig:
             known = ", ".join(BACKEND_NAMES)
             raise ExperimentError(
                 f"unknown store backend {self.store_backend!r}; known: {known}"
+            )
+        if self.append_log_compact_min_dead < 1:
+            raise ExperimentError(
+                "append_log_compact_min_dead must be at least 1"
+            )
+        if not 0.0 < self.append_log_compact_fraction <= 1.0:
+            raise ExperimentError(
+                "append_log_compact_fraction must lie in (0, 1]"
             )
         for checkpoint in self.checkpoints:
             if checkpoint <= 0 or checkpoint > self.num_tuples:

@@ -138,6 +138,8 @@ def build_engine(config: ExperimentConfig) -> RJoinEngine:
         num_nodes=config.num_nodes,
         strategy=config.strategy,
         store_backend=config.store_backend,
+        append_log_compact_min_dead=config.append_log_compact_min_dead,
+        append_log_compact_fraction=config.append_log_compact_fraction,
         seed=config.seed,
         owner_failover=config.owner_failover,
         id_movement=config.id_movement,

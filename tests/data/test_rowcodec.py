@@ -1,0 +1,63 @@
+"""Round-trip tests for the packed row codec behind the sqlite payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.rowcodec import pack_values, unpack_values
+
+
+def roundtrip(values: tuple) -> tuple:
+    return unpack_values(pack_values(values))
+
+
+class TestRoundTrips:
+    def test_homogeneous_int_rows_take_the_packed_path(self):
+        values = (1, -2, 3_000_000_000, 0)
+        payload = pack_values(values)
+        assert payload[0:1] == b"I"
+        assert roundtrip(values) == values
+
+    def test_mixed_scalar_rows(self):
+        values = ("text", 42, 3.5, None, True, False, b"\x00raw")
+        payload = pack_values(values)
+        assert payload[0:1] == b"V"
+        result = roundtrip(values)
+        assert result == values
+        assert [type(v) for v in result] == [type(v) for v in values]
+
+    def test_bools_do_not_collapse_to_ints(self):
+        # bool is an int subclass; the fast path must not swallow it.
+        values = (True, False, 1, 0)
+        result = roundtrip(values)
+        assert result == values
+        assert [type(v) for v in result] == [bool, bool, int, int]
+
+    def test_huge_ints_fall_back_to_pickle(self):
+        values = (1 << 80, -(1 << 70))
+        payload = pack_values(values)
+        assert payload[0:1] == b"P"
+        assert roundtrip(values) == values
+
+    def test_exotic_values_fall_back_to_pickle(self):
+        values = ((1, 2), {"k": "v"}, [3])
+        payload = pack_values(values)
+        assert payload[0:1] == b"P"
+        assert roundtrip(values) == values
+
+    def test_unicode_and_empty_strings(self):
+        values = ("", "héllo ∞", "\x1f")
+        assert roundtrip(values) == values
+
+    def test_empty_row(self):
+        assert roundtrip(()) == ()
+        assert pack_values(())[0:1] == b"I"
+
+    def test_int_mixed_with_huge_int_falls_back(self):
+        values = (1, 1 << 80, "x")
+        assert pack_values(values)[0:1] == b"P"
+        assert roundtrip(values) == values
+
+    def test_corrupt_tag_raises(self):
+        with pytest.raises(ValueError, match="unknown row-codec tag"):
+            unpack_values(b"V\xff")

@@ -16,6 +16,7 @@ from repro.data.backends import (
     BACKEND_NAMES,
     SEPARATOR,
     StoreBackend,
+    StoreTuning,
     make_store,
 )
 from repro.data.schema import RelationSchema
@@ -224,3 +225,170 @@ class TestConformance:
         assert stored.values == ("text", 42)
         assert isinstance(stored.values[1], int)
         assert stored.identity == tup.identity
+
+
+class TestBatchOperations:
+    """The set-at-a-time APIs must agree exactly with their per-item forms."""
+
+    def test_add_batch_matches_per_item_adds(self, store, schema):
+        entries = [
+            (key_for("R", "a", seq % 3), make_tuple(schema, (seq, seq), seq), float(seq))
+            for seq in range(1, 9)
+        ]
+        records = store.add_batch(entries)
+        assert [r.tuple.sequence for r in records] == list(range(1, 9))
+        assert [r.key for r in records] == [key for key, _, _ in entries]
+        assert [r.stored_at for r in records] == [now for _, _, now in entries]
+        assert len(store) == 8
+        assert store.cumulative_stored == 8
+        expected = make_store(store.name)
+        try:
+            for key, tup, now in entries:
+                expected.add(key, tup, now)
+            for key in {key for key, _, _ in entries}:
+                assert store.tuples_for_key(key) == expected.tuples_for_key(key)
+        finally:
+            expected.close()
+
+    def test_match_batch_agrees_with_per_probe_lookups(self, store, schema):
+        shared = make_tuple(schema, (1, 2), 1, pub_time=2.0)
+        store.add(key_for("R", "a", 1), shared, now=0.0)
+        store.add(key_for("R", "a", 2), shared, now=0.0)
+        store.add(key_for("R", "a", 9), make_tuple(schema, (9, 9), 2, pub_time=1.0), now=0.0)
+        store.add(key_for("S", "b", 1), make_tuple(schema, (7, 7), 3), now=0.0)
+        store.add("plain-key", make_tuple(schema, (4, 4), 4), now=0.0)
+        probes = [
+            ("prefix", prefix_for("R", "a")),
+            ("key", key_for("R", "a", 1)),
+            ("prefix", prefix_for("S", "b")),
+            ("key", "missing-key"),
+            ("prefix", prefix_for("R", "zzz")),
+            ("prefix", "plain"),
+            ("prefix", prefix_for("R", "a")),  # repeated probe
+        ]
+        batched = store.match_batch(probes)
+        assert len(batched) == len(probes)
+        for (kind, text), result in zip(probes, batched):
+            if kind == "key":
+                assert result == store.tuples_for_key(text)
+            else:
+                assert result == store.tuples_for_prefix(text)
+
+    def test_match_batch_rejects_unknown_probe_kind(self, store):
+        with pytest.raises(ConfigurationError, match="unknown probe kind"):
+            store.match_batch([("range", "whatever")])
+
+    def test_key_probe_keeps_duplicate_identities(self, store, schema):
+        # The contract allows the same publication under one key twice; key
+        # probes must not deduplicate.
+        tup = make_tuple(schema, (1, 1), 1)
+        store.add("k", tup, now=0.0)
+        store.add("k", tup, now=1.0)
+        (result,) = store.match_batch([("key", "k")])
+        assert result == [tup, tup]
+
+    def test_tuples_for_prefixes_maps_each_prefix(self, store, schema):
+        store.add(key_for("R", "a", 1), make_tuple(schema, (1, 1), 1), now=0.0)
+        store.add(key_for("R", "b", 2), make_tuple(schema, (2, 2), 2), now=0.0)
+        prefixes = [prefix_for("R", "a"), prefix_for("R", "b"), prefix_for("T", "a")]
+        mapping = store.tuples_for_prefixes(prefixes)
+        assert set(mapping) == set(prefixes)
+        for prefix in prefixes:
+            assert mapping[prefix] == store.tuples_for_prefix(prefix)
+
+    def test_batch_results_stay_consistent_across_writes_and_gc(self, store, schema):
+        """Memoised bucket results must track interleaved mutation exactly."""
+        prefix = prefix_for("R", "a")
+        for seq in range(1, 11):
+            store.add(
+                key_for("R", "a", seq % 4),
+                make_tuple(schema, (seq, seq), seq, pub_time=float(seq)),
+                now=0.0,
+            )
+        first = store.tuples_for_prefix(prefix)
+        assert [t.sequence for t in first] == list(range(1, 11))
+        # Write after the result was memoised — including one out of
+        # publication order.
+        store.add(
+            key_for("R", "a", 1),
+            make_tuple(schema, (12, 12), 12, pub_time=12.0),
+            now=0.0,
+        )
+        store.add(
+            key_for("R", "a", 2),
+            make_tuple(schema, (11, 11), 11, pub_time=5.5),
+            now=0.0,
+        )
+        assert [t.sequence for t in store.tuples_for_prefix(prefix)] == [
+            1, 2, 3, 4, 5, 11, 6, 7, 8, 9, 10, 12,
+        ]
+        # Ranged GC, keyed removal and re-probing must all agree again.
+        assert store.remove_published_before(5.0) == 4
+        store.remove_key(key_for("R", "a", 3))
+        (after,) = store.match_batch([("prefix", prefix)])
+        # seq 3 (already expired) and seq 7 lived under value 3.
+        assert {t.sequence for t in after} == {5, 6, 8, 9, 10, 11, 12}
+        assert after == store.tuples_for_prefix(prefix)
+
+    def test_remove_expired_combines_both_cutoffs(self, store, schema):
+        for seq in range(1, 7):
+            store.add(
+                "k",
+                make_tuple(schema, (seq, seq), seq, pub_time=float(seq)),
+                now=0.0,
+            )
+        # pub_time < 3.0 removes 1, 2; sequence < 5 additionally removes 3, 4.
+        assert store.remove_expired(published_before=3.0, sequenced_before=5) == 4
+        assert [t.sequence for t in store.tuples_for_key("k")] == [5, 6]
+        assert store.remove_expired() == 0
+
+    def test_remove_expired_matches_single_cutoff_forms(self, store, schema):
+        for seq in range(1, 5):
+            store.add(
+                "k",
+                make_tuple(schema, (seq, seq), seq, pub_time=float(seq)),
+                now=0.0,
+            )
+        assert store.remove_expired(published_before=2.0) == 1
+        assert store.remove_expired(sequenced_before=4) == 2
+        assert [t.sequence for t in store.tuples_for_key("k")] == [4]
+
+
+class TestStoreTuning:
+    def test_invalid_tuning_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StoreTuning(compact_min_dead=0)
+        with pytest.raises(ConfigurationError):
+            StoreTuning(compact_dead_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            StoreTuning(compact_dead_fraction=1.5)
+
+    def test_append_log_honours_aggressive_thresholds(self, schema):
+        tuning = StoreTuning(compact_min_dead=1, compact_dead_fraction=0.01)
+        store = make_store("append-log", tuning=tuning)
+        try:
+            assert store.compact_min_dead == 1
+            for seq in range(1, 21):
+                store.add(
+                    "k",
+                    make_tuple(schema, (seq, seq), seq, pub_time=float(seq)),
+                    now=0.0,
+                )
+            assert store.remove_published_before(11.0) == 10
+            # With a tombstone floor of one, a single sweep must compact.
+            assert store.compactions >= 1
+            assert [t.sequence for t in store.tuples_for_key("k")] == list(
+                range(11, 21)
+            )
+        finally:
+            store.close()
+
+    def test_memory_and_sqlite_ignore_tuning(self, schema):
+        tuning = StoreTuning(compact_min_dead=1, compact_dead_fraction=0.01)
+        for name in ("memory", "sqlite"):
+            store = make_store(name, tuning=tuning)
+            try:
+                store.add("k", make_tuple(schema, (1, 1), 1), now=0.0)
+                assert store.tuples_for_key("k")[0].sequence == 1
+            finally:
+                store.close()

@@ -164,3 +164,56 @@ class TestCheckDirectories:
             tmp_path / "base", tmp_path / "cand", 0.30
         )
         assert code == 2
+
+
+class TestRequireGated:
+    _write = TestCheckDirectories._write
+
+    def test_required_and_gated_rate_passes(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", 100.0)
+        self._write(tmp_path / "cand", "BENCH_x.json", 95.0)
+        code = check_regression.check_directories(
+            tmp_path / "base",
+            tmp_path / "cand",
+            0.30,
+            require_gated=["BENCH_x.json/results/memory/ops_per_sec/add"],
+        )
+        assert code == 0
+
+    def test_required_rate_missing_from_baselines_fails(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", 100.0)
+        self._write(tmp_path / "cand", "BENCH_x.json", 95.0)
+        code = check_regression.check_directories(
+            tmp_path / "base",
+            tmp_path / "cand",
+            0.30,
+            require_gated=["BENCH_x.json/results/sqlite/ops_per_sec/prefix_match"],
+        )
+        assert code == 1
+
+    def test_required_rate_below_window_floor_fails(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", 100.0, seconds=0.001)
+        self._write(tmp_path / "cand", "BENCH_x.json", 95.0, seconds=0.001)
+        code = check_regression.check_directories(
+            tmp_path / "base",
+            tmp_path / "cand",
+            0.30,
+            min_window=0.02,
+            require_gated=["BENCH_x.json/results/memory/ops_per_sec/add"],
+        )
+        assert code == 1
+
+    def test_cli_accepts_repeated_require_gated(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", 100.0)
+        self._write(tmp_path / "cand", "BENCH_x.json", 95.0)
+        code = check_regression.main(
+            [
+                "--baseline",
+                str(tmp_path / "base"),
+                "--candidate",
+                str(tmp_path / "cand"),
+                "--require-gated",
+                "BENCH_x.json/results/memory/ops_per_sec/add",
+            ]
+        )
+        assert code == 0
