@@ -166,6 +166,20 @@ def run_all(verbose: bool = True, reports_dir: "str | None" = None) -> List[str]
     return failures
 
 
+def run_self_check() -> int:
+    """Run the repo's static-analysis suite; returns its exit code.
+
+    Benchmarks exercise code paths nothing else runs, so a benchmark
+    session is a natural moment to also confirm the tree satisfies its own
+    invariants (``python -m repro.analysis check``) before spending minutes
+    measuring a build that lint would have rejected anyway.
+    """
+    from repro.analysis.cli import main as analysis_main
+
+    print("self-check: python -m repro.analysis check")
+    return analysis_main(["check"])
+
+
 def main(argv: "List[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -174,7 +188,24 @@ def main(argv: "List[str] | None" = None) -> int:
         default=None,
         help="write the smoke-sized BENCH_*.json reports into DIR",
     )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help=(
+            "run the static-analysis suite (python -m repro.analysis check) "
+            "before the benchmarks and fail fast on findings"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.self_check:
+        code = run_self_check()
+        if code != 0:
+            print(
+                "self-check failed: fix the findings above before "
+                "benchmarking",
+                file=sys.stderr,
+            )
+            return code
     failures = run_all(verbose=True, reports_dir=args.write_reports)
     if failures:
         print(f"\n{len(failures)} benchmark(s) failed:", file=sys.stderr)

@@ -1,0 +1,103 @@
+"""Baseline (grandfathering) mechanism of the analysis suite.
+
+A baseline is a committed JSON file recording pre-existing findings by
+*fingerprint*: a stable hash of ``(rule, path, message)`` — deliberately
+excluding the line number, so unrelated edits that shift code around do not
+churn the file.  Identical findings in one file share a fingerprint; the
+baseline stores a count per fingerprint and suppresses at most that many
+occurrences, so *adding* another instance of a baselined violation still
+fails the check.
+
+The shipped tree carries an empty baseline: every invariant holds.  The
+mechanism exists so a future rule can land in one PR (baselining its
+pre-existing debt) and the debt can be burned down separately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.base import Finding
+from repro.errors import AnalysisError
+
+BASELINE_FORMAT_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding, independent of its line number."""
+    payload = f"{finding.rule}\x1f{finding.path}\x1f{finding.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file: ``fingerprint -> allowed occurrence count``.
+
+    A missing file is an empty baseline (nothing grandfathered).
+    """
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline {str(path)!r} is not valid JSON: {exc}")
+    if not isinstance(data, dict) or "entries" not in data:
+        raise AnalysisError(
+            f"baseline {str(path)!r} has no 'entries' object"
+        )
+    entries = data["entries"]
+    if not isinstance(entries, dict):
+        raise AnalysisError(f"baseline {str(path)!r} entries must be an object")
+    result: Dict[str, int] = {}
+    for key, value in entries.items():
+        count = value.get("count", 1) if isinstance(value, dict) else value
+        result[str(key)] = int(count)
+    return result
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> int:
+    """Write a baseline grandfathering ``findings``; returns the entry count.
+
+    Entries keep a human-readable echo of the finding next to the count so
+    reviewers can audit what exactly is being grandfathered.
+    """
+    counts: Counter[str] = Counter(fingerprint(f) for f in findings)
+    samples: Dict[str, Finding] = {}
+    for finding in findings:
+        samples.setdefault(fingerprint(finding), finding)
+    entries = {
+        print_key: {
+            "count": counts[print_key],
+            "rule": samples[print_key].rule,
+            "path": samples[print_key].path,
+            "message": samples[print_key].message,
+        }
+        for print_key in sorted(counts)
+    }
+    document = {"version": BASELINE_FORMAT_VERSION, "entries": entries}
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(active, suppressed)`` under ``baseline``.
+
+    Suppression is counted: a fingerprint baselined ``n`` times silences at
+    most ``n`` occurrences (in source order); the ``n+1``-th stays active.
+    """
+    budget = dict(baseline)
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed.append(finding.suppressed("baseline"))
+        else:
+            active.append(finding)
+    return active, suppressed

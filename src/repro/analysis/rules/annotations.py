@@ -1,0 +1,87 @@
+"""Rule ``annotation-completeness`` — the strict-typing gate, locally.
+
+CI runs ``mypy --strict`` over the engine's load-bearing packages, but the
+development container does not ship mypy; this rule is the in-tree
+approximation that keeps the gate honest between CI runs.  It requires
+every function in ``core/``, ``data/``, ``net/``, ``dht/``, ``metrics/``
+and ``analysis/`` to carry complete signatures:
+
+* a return annotation (``__init__`` and friends included — strict mypy
+  requires ``-> None`` too),
+* an annotation on every parameter except ``self``/``cls`` in methods,
+  including ``*args``/``**kwargs``.
+
+Test helpers and decorated callbacks that genuinely cannot be annotated
+can use ``# repro: allow[annotation-completeness]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from repro.analysis.base import Finding, Rule, SourceFile
+from repro.analysis.project import Project
+
+#: Packages under the strict-typing gate (mirrors the mypy CI scope).
+SCOPE = ("core/", "data/", "net/", "dht/", "metrics/", "analysis/")
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _missing_parts(func: _FunctionNode, is_method: bool) -> List[str]:
+    missing: List[str] = []
+    args = func.args
+    positional = args.posonlyargs + args.args
+    skip_first = is_method and positional and positional[0].arg in {"self", "cls"}
+    for index, arg in enumerate(positional):
+        if skip_first and index == 0:
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if func.returns is None:
+        missing.append("return")
+    return missing
+
+
+class AnnotationCompletenessRule(Rule):
+    """Every function in the strict-typing scope is fully annotated."""
+
+    name = "annotation-completeness"
+    description = (
+        "every def in core/, data/, net/, dht/, metrics/, analysis/ has "
+        "full parameter and return annotations (the local mypy-strict gate)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for sf in project.in_dirs(*SCOPE):
+            yield from self._check_file(sf)
+
+    def _check_file(self, sf: SourceFile) -> Iterator[Finding]:
+        # Track which function nodes are class-body members (methods).
+        method_nodes = set()
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method_nodes.add(id(item))
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name == "<lambda>":
+                continue
+            missing = _missing_parts(node, id(node) in method_nodes)
+            if missing:
+                yield self.finding(
+                    sf,
+                    node,
+                    f"def {node.name} is missing annotations for: "
+                    f"{', '.join(missing)} (strict-typing gate)",
+                )

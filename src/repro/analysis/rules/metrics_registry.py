@@ -1,0 +1,282 @@
+"""Rule ``metrics-registry`` — counters, summary and schema in lock step.
+
+A metrics gap is the silent failure mode of this codebase: a counter gets
+added to :class:`~repro.metrics.collectors.ChurnStats` for a new subsystem,
+but the key never surfaces in ``RJoinEngine.metrics_summary`` (or the
+declared summary schema in ``metrics/serialize.py`` is not extended), and
+every scenario silently reports zeros — nothing crashes.  This rule pins
+the three layers together at lint time:
+
+* every counter attribute mutated on ``ChurnStats`` (``self._x += …``) is
+  read back by at least one ``@property``,
+* every counter-backed property is consumed by
+  ``RJoinEngine.metrics_summary`` (``core/engine.py``) via
+  ``self.churn.<property>``, and every ``self.churn.<attr>`` the summary
+  reads actually exists on ``ChurnStats``,
+* the key set of the ``metrics_summary`` dict literal equals the declared
+  :data:`~repro.metrics.serialize.SUMMARY_SCHEMA` in
+  ``metrics/serialize.py`` — result-schema drift fails the check instead
+  of shipping.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.base import Finding, Rule, SourceFile
+from repro.analysis.project import Project
+
+COLLECTORS_FILE = "metrics/collectors.py"
+SERIALIZE_FILE = "metrics/serialize.py"
+ENGINE_FILE = "core/engine.py"
+STATS_CLASS = "ChurnStats"
+SUMMARY_METHOD = "metrics_summary"
+SCHEMA_NAME = "SUMMARY_SCHEMA"
+
+
+def _find_class(sf: SourceFile, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _find_method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+def _is_property(func: ast.FunctionDef) -> bool:
+    return any(
+        (isinstance(d, ast.Name) and d.id == "property")
+        or (isinstance(d, ast.Attribute) and d.attr in {"getter", "property"})
+        for d in func.decorator_list
+    )
+
+
+def _self_attrs(node: ast.AST) -> Set[str]:
+    """Attribute names read or written as ``self.<attr>`` under ``node``."""
+    attrs: Set[str] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+        ):
+            attrs.add(sub.attr)
+    return attrs
+
+
+class MetricsRegistryRule(Rule):
+    """ChurnStats counters ↔ metrics_summary ↔ declared summary schema."""
+
+    name = "metrics-registry"
+    description = (
+        "every mutated ChurnStats counter surfaces in metrics_summary and "
+        "the declared SUMMARY_SCHEMA (and vice versa)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        collectors = project.get(COLLECTORS_FILE)
+        engine = project.get(ENGINE_FILE)
+        if collectors is not None:
+            yield from self._check_counters_vs_properties(collectors, engine)
+        if engine is not None:
+            yield from self._check_summary_schema(project, engine)
+
+    # ------------------------------------------------------------------
+    # ChurnStats internals and their consumption by the engine
+    # ------------------------------------------------------------------
+    def _churn_stats(
+        self, collectors: SourceFile
+    ) -> Optional[Tuple[ast.ClassDef, Dict[str, ast.AST], Dict[str, Set[str]]]]:
+        cls = _find_class(collectors, STATS_CLASS)
+        if cls is None:
+            return None
+        # Counter attributes mutated by recording methods (scalar only:
+        # dict-valued aggregations like ``self._by_kind[k] += 1`` have
+        # their own property surface and are excluded).
+        mutated: Dict[str, ast.AST] = {}
+        for item in cls.body:
+            if not isinstance(item, ast.FunctionDef) or _is_property(item):
+                continue
+            for sub in ast.walk(item):
+                if isinstance(sub, ast.AugAssign) and isinstance(
+                    sub.target, ast.Attribute
+                ):
+                    target = sub.target
+                    if (
+                        isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        mutated.setdefault(target.attr, sub)
+        # Properties and the private attributes each one reads.
+        properties: Dict[str, Set[str]] = {}
+        for item in cls.body:
+            if isinstance(item, ast.FunctionDef) and _is_property(item):
+                properties[item.name] = _self_attrs(item)
+        return cls, mutated, properties
+
+    def _check_counters_vs_properties(
+        self, collectors: SourceFile, engine: Optional[SourceFile]
+    ) -> Iterator[Finding]:
+        parsed = self._churn_stats(collectors)
+        if parsed is None:
+            return
+        cls, mutated, properties = parsed
+        exposed: Dict[str, List[str]] = {}
+        for prop, attrs in properties.items():
+            for attr in attrs:
+                exposed.setdefault(attr, []).append(prop)
+
+        for counter in sorted(mutated):
+            if counter not in exposed:
+                yield self.finding(
+                    collectors,
+                    mutated[counter],
+                    f"{STATS_CLASS}.{counter} is mutated but no @property "
+                    "reads it back: the counter can never surface in "
+                    "metrics",
+                )
+
+        if engine is None:
+            return
+        summary = self._summary_method(engine)
+        if summary is None:
+            return
+        churn_reads = self._churn_reads(summary)
+        # Counter-backed properties must be consumed by the summary...
+        for counter in sorted(mutated):
+            props = exposed.get(counter, [])
+            if props and not any(prop in churn_reads for prop in props):
+                yield self.finding(
+                    collectors,
+                    mutated[counter],
+                    f"{STATS_CLASS}.{counter} (exposed as "
+                    f"{'/'.join(sorted(props))}) never surfaces in "
+                    f"{SUMMARY_METHOD} ({ENGINE_FILE}): scenarios would "
+                    "silently report nothing for it",
+                )
+        # ... and the summary must not read attributes that do not exist.
+        declared = set(properties) | {
+            item.name for item in cls.body if isinstance(item, ast.FunctionDef)
+        }
+        for attr, node in sorted(churn_reads.items()):
+            if attr not in declared:
+                yield self.finding(
+                    engine,
+                    node,
+                    f"{SUMMARY_METHOD} reads self.churn.{attr}, which is "
+                    f"not defined on {STATS_CLASS} ({COLLECTORS_FILE})",
+                )
+
+    # ------------------------------------------------------------------
+    # metrics_summary keys vs the declared serialize schema
+    # ------------------------------------------------------------------
+    def _summary_method(self, engine: SourceFile) -> Optional[ast.FunctionDef]:
+        for node in ast.walk(engine.tree):
+            if isinstance(node, ast.FunctionDef) and node.name == SUMMARY_METHOD:
+                return node
+        return None
+
+    def _churn_reads(self, summary: ast.FunctionDef) -> Dict[str, ast.AST]:
+        """``self.churn.<attr>`` reads inside the summary method."""
+        reads: Dict[str, ast.AST] = {}
+        for sub in ast.walk(summary):
+            if not isinstance(sub, ast.Attribute):
+                continue
+            value = sub.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "churn"
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+            ):
+                reads.setdefault(sub.attr, sub)
+        return reads
+
+    def _summary_keys(
+        self, summary: ast.FunctionDef
+    ) -> Optional[Dict[str, ast.AST]]:
+        """String keys of the dict literal returned by ``metrics_summary``."""
+        for sub in ast.walk(summary):
+            if isinstance(sub, ast.Return) and isinstance(sub.value, ast.Dict):
+                keys: Dict[str, ast.AST] = {}
+                for key in sub.value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        keys[key.value] = key
+                return keys
+        return None
+
+    def _declared_schema(
+        self, serialize: SourceFile
+    ) -> Optional[Tuple[Set[str], ast.AST]]:
+        for node in ast.walk(serialize.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == SCHEMA_NAME for t in targets
+            ):
+                continue
+            if isinstance(value, ast.Call):  # frozenset((...)) wrapper
+                value = value.args[0] if value.args else value
+            if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                names = {
+                    elt.value
+                    for elt in value.elts
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                }
+                return names, node
+        return None
+
+    def _check_summary_schema(
+        self, project: Project, engine: SourceFile
+    ) -> Iterator[Finding]:
+        summary = self._summary_method(engine)
+        serialize = project.get(SERIALIZE_FILE)
+        if summary is None or serialize is None:
+            return
+        keys = self._summary_keys(summary)
+        if keys is None:
+            return
+        declared = self._declared_schema(serialize)
+        if declared is None:
+            yield Finding(
+                rule=self.name,
+                path=serialize.rel,
+                line=1,
+                message=(
+                    f"{SERIALIZE_FILE} declares no {SCHEMA_NAME}: the "
+                    "summary key set is unpinned and drift cannot be "
+                    "detected"
+                ),
+            )
+            return
+        schema, schema_node = declared
+        for key in sorted(set(keys) - schema):
+            yield self.finding(
+                engine,
+                keys[key],
+                f"{SUMMARY_METHOD} emits {key!r} but {SCHEMA_NAME} "
+                f"({SERIALIZE_FILE}) does not declare it: bump the schema "
+                "deliberately instead of drifting",
+            )
+        for key in sorted(schema - set(keys)):
+            yield self.finding(
+                serialize,
+                schema_node,
+                f"{SCHEMA_NAME} declares {key!r} but {SUMMARY_METHOD} "
+                f"({ENGINE_FILE}) does not emit it: stale schema entry",
+            )

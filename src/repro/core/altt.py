@@ -37,7 +37,7 @@ class _AlttEntry:
 class AttributeLevelTupleTable:
     """Per-node table of recently received attribute-level tuples."""
 
-    def __init__(self, delta: Optional[float] = None):
+    def __init__(self, delta: Optional[float] = None) -> None:
         """``delta`` is the retention time Δ; ``None`` means keep forever."""
         self.delta = delta
         self._by_key: Dict[str, List[_AlttEntry]] = {}
@@ -78,7 +78,10 @@ class AttributeLevelTupleTable:
         while heap and heap[0][0] < cutoff:
             affected.add(heapq.heappop(heap)[2])
         removed = 0
-        for key in affected:
+        # Sorted so key-deletion order (and therefore later key-enumeration
+        # order of _by_key) is identical across interpreter runs regardless
+        # of string hash randomisation.
+        for key in sorted(affected):
             entries = self._by_key.get(key)
             if not entries:
                 continue

@@ -47,7 +47,7 @@ from repro.errors import (
     UnknownRelationError,
 )
 from repro.metrics.collectors import ChurnStats, LoadTracker
-from repro.net.simulator import SimulationKernel
+from repro.net.simulator import EventHandle, SimulationKernel
 from repro.net.stats import TrafficStats
 from repro.sql.ast import Query, WindowSpec
 from repro.sql.parser import parse_query
@@ -62,7 +62,7 @@ class RJoinEngine:
         catalog: Optional[Catalog] = None,
         strategy: Optional[IndexingStrategy] = None,
         store_backend: Optional[str] = None,
-    ):
+    ) -> None:
         """``store_backend`` overrides ``config.store_backend`` when given
         (``memory`` / ``sqlite`` / ``append-log``; see
         :func:`repro.data.backends.make_store`)."""
@@ -714,7 +714,7 @@ class RJoinEngine:
         graceful: bool = True,
         min_nodes: int = 2,
         max_nodes: Optional[int] = None,
-    ):
+    ) -> EventHandle:
         """Schedule a membership change on the simulation kernel.
 
         The operation fires ``delay`` simulated time units from now — in the

@@ -96,7 +96,7 @@ class QueryLifecycleManager:
         churn: ChurnStats,
         clock: Callable[[], float],
         enabled: bool = True,
-    ):
+    ) -> None:
         self.ring = ring
         self.nodes = nodes
         self.handles = handles

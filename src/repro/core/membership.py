@@ -100,7 +100,7 @@ class MembershipManager:
         loads: LoadTracker,
         churn: ChurnStats,
         clock: Callable[[], float],
-    ):
+    ) -> None:
         self.ring = ring
         self.nodes = nodes
         self.loads = loads

@@ -66,7 +66,7 @@ from repro.data.backends import (
     StoreTuning,
     make_store,
 )
-from repro.data.schema import Catalog
+from repro.data.schema import Catalog, RelationSchema
 from repro.data.store import StoredTuple
 from repro.data.tuples import Tuple
 from repro.dht.api import DHTMessagingService
@@ -268,7 +268,7 @@ class RehomedItem:
 class RJoinNode:
     """The application-layer state and handlers of one DHT node."""
 
-    def __init__(self, address: str, ctx: NodeContext):
+    def __init__(self, address: str, ctx: NodeContext) -> None:
         self.address = address
         self.ctx = ctx
         # Stored state ----------------------------------------------------
@@ -410,7 +410,9 @@ class RJoinNode:
         if survivors is not None:
             table.replace(key_text, survivors)
 
-    def _try_trigger(self, record: StoredQueryRecord, tup: Tuple, schema) -> None:
+    def _try_trigger(
+        self, record: StoredQueryRecord, tup: Tuple, schema: RelationSchema
+    ) -> None:
         """Apply the trigger conditions and, if satisfied, rewrite and re-index."""
         state = record.state
         if tup.pub_time < state.insertion_time:

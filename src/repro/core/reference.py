@@ -44,7 +44,7 @@ class _RegisteredQuery:
 class ReferenceEngine:
     """A single-node oracle for continuous multi-way equi-join semantics."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
         self._queries: Dict[str, _RegisteredQuery] = {}
         #: Removed queries, kept so their answer history stays inspectable

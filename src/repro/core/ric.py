@@ -44,7 +44,7 @@ class RicEntry:
 class RateTracker:
     """Per-node arrival counting for the keys the node is responsible for."""
 
-    def __init__(self, window: Optional[float] = None):
+    def __init__(self, window: Optional[float] = None) -> None:
         """``window`` bounds the observation horizon; ``None`` counts forever."""
         self.window = window
         self._arrivals: Dict[str, Deque[float]] = {}
@@ -87,7 +87,7 @@ class RateTracker:
 class CandidateTable:
     """Cache of RIC entries (and candidate node addresses) — Section 7."""
 
-    def __init__(self, freshness: Optional[float] = None):
+    def __init__(self, freshness: Optional[float] = None) -> None:
         """``freshness`` is the maximum age of a usable entry (``None`` = no limit)."""
         self.freshness = freshness
         self._entries: Dict[str, RicEntry] = {}

@@ -218,7 +218,7 @@ class AppendLogTupleStore(StoreBackend):
             self._maybe_compact()
         return killed
 
-    def _expire(self, heap: List[TupleT], cutoff) -> int:
+    def _expire(self, heap: List[TupleT], cutoff: float) -> int:
         """Tombstone every alive position the heap reports below ``cutoff``."""
         doomed: List[int] = []
         while heap and heap[0][0] < cutoff:

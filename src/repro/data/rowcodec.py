@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import pickle
 import struct
+
+from repro.errors import CodecError
 from typing import Dict, Tuple as TupleT
 
 __all__ = ["pack_values", "unpack_values"]
@@ -122,5 +124,5 @@ def unpack_values(payload: bytes) -> TupleT:
             values.append(bytes(payload[offset : offset + size]))
             offset += size
         else:  # pragma: no cover - corrupt payload
-            raise ValueError(f"unknown row-codec tag {tag!r}")
+            raise CodecError(f"unknown row-codec tag {tag!r}")
     return tuple(values)

@@ -50,7 +50,7 @@ class RelationSchema:
 
     __slots__ = ("name", "attributes", "_positions")
 
-    def __init__(self, name: str, attributes: Sequence[str]):
+    def __init__(self, name: str, attributes: Sequence[str]) -> None:
         if not name:
             raise SchemaError("relation name must be a non-empty string")
         attrs = list(attributes)

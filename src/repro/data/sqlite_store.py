@@ -99,7 +99,7 @@ class SqliteTupleStore(StoreBackend):
 
     name = "sqlite"
 
-    def __init__(self, path: str = ":memory:"):
+    def __init__(self, path: str = ":memory:") -> None:
         """``path`` is the database location; the default keeps it in memory."""
         self._conn = sqlite3.connect(path, isolation_level=None)
         # The store is node-local simulation state: durability across a host

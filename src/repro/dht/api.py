@@ -57,7 +57,7 @@ class DHTMessagingService:
         hop_delay: float = 1.0,
         delay_jitter: float = 0.0,
         rng: Optional[random.Random] = None,
-    ):
+    ) -> None:
         if hop_delay < 0 or delay_jitter < 0:
             raise ConfigurationError("delays must be non-negative")
         self.ring = ring

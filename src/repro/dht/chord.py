@@ -34,7 +34,7 @@ class ChordNode:
 
     __slots__ = ("node_id", "address")
 
-    def __init__(self, node_id: int, address: str):
+    def __init__(self, node_id: int, address: str) -> None:
         self.node_id = node_id
         self.address = address
 
@@ -53,7 +53,7 @@ class ChordNode:
 class ChordRing:
     """The global view of a Chord network used by the simulation."""
 
-    def __init__(self, space: Optional[IdentifierSpace] = None):
+    def __init__(self, space: Optional[IdentifierSpace] = None) -> None:
         self.space = space or IdentifierSpace()
         self._ring: RingMap[ChordNode] = RingMap(self.space)
         self._by_address: Dict[str, ChordNode] = {}

@@ -30,7 +30,7 @@ class IdentifierSpace:
 
     __slots__ = ("bits", "size", "_hash_cache")
 
-    def __init__(self, bits: int = DEFAULT_BITS):
+    def __init__(self, bits: int = DEFAULT_BITS) -> None:
         if bits <= 0 or bits > 160:
             raise ConfigurationError("identifier space must use between 1 and 160 bits")
         self.bits = bits

@@ -44,7 +44,7 @@ class IdMovementBalancer:
         ring: ChordRing,
         light_load_factor: float = 0.5,
         max_moves_per_round: Optional[int] = None,
-    ):
+    ) -> None:
         if light_load_factor <= 0 or light_load_factor > 1:
             raise ConfigurationError("light_load_factor must be in (0, 1]")
         self.ring = ring

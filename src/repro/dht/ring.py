@@ -22,7 +22,7 @@ T = TypeVar("T")
 class RingMap(Generic[T]):
     """A circular sorted map from identifiers to values."""
 
-    def __init__(self, space: IdentifierSpace):
+    def __init__(self, space: IdentifierSpace) -> None:
         self.space = space
         self._ids: List[int] = []
         self._values: List[T] = []

@@ -67,6 +67,10 @@ class UnknownAttributeError(SchemaError):
     """A query refers to an attribute that is not part of the relation."""
 
 
+class CodecError(SchemaError):
+    """A stored payload could not be decoded (corrupt or unknown encoding)."""
+
+
 class SQLError(ReproError):
     """Base class for SQL front-end errors."""
 
@@ -77,6 +81,10 @@ class SQLSyntaxError(SQLError):
 
 class UnsupportedQueryError(SQLError):
     """The query parses but falls outside the supported equi-join subset."""
+
+
+class PredicateBindingError(SQLError):
+    """A predicate was evaluated against a relation it does not reference."""
 
 
 # ---------------------------------------------------------------------------
@@ -98,3 +106,16 @@ class RewriteError(EngineError):
 
 class ExperimentError(ReproError):
     """An experiment configuration or run is invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Metrics / tooling
+# ---------------------------------------------------------------------------
+
+
+class MetricsError(ReproError):
+    """A metrics report or aggregation was requested with invalid inputs."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis suite was driven with invalid inputs."""

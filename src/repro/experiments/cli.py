@@ -293,4 +293,4 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=out)
         return 2
-    raise AssertionError(f"unhandled command {args.command!r}")
+    raise ExperimentError(f"unhandled command {args.command!r}")

@@ -29,12 +29,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.errors import ExperimentError
 from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import Scenario, ScenarioCell, get_scenario
-from repro.metrics.serialize import (
-    RESULT_SCHEMA_VERSION,
-    aggregate_metrics,
-    config_to_dict,
-    result_to_dict,
-)
+# Imported as a module (attributes resolved at call time) to keep the
+# import graph acyclic: serialize itself imports repro.experiments.config,
+# so a from-import of its names here would break whichever module is
+# imported first.
+from repro.metrics import serialize
 
 AGGREGATE_FILENAME = "aggregate.json"
 
@@ -60,10 +59,10 @@ def run_cell(cell: ScenarioCell) -> Dict[str, object]:
     started = time.perf_counter()
     result = run_experiment(cell.config)
     return {
-        "schema_version": RESULT_SCHEMA_VERSION,
+        "schema_version": serialize.RESULT_SCHEMA_VERSION,
         "cell": _cell_descriptor(cell),
         "elapsed_seconds": time.perf_counter() - started,
-        "result": result_to_dict(result),
+        "result": serialize.result_to_dict(result),
     }
 
 
@@ -121,10 +120,10 @@ class GridReport:
                     "variant": variant,
                     "strategy": strategy,
                     "seeds": sorted(member.cell.seed for member in members),
-                    "summary": aggregate_metrics(
+                    "summary": serialize.aggregate_metrics(
                         [member.summary for member in members]
                     ),
-                    "derived": aggregate_metrics(
+                    "derived": serialize.aggregate_metrics(
                         [member.derived for member in members]
                     ),
                 }
@@ -133,7 +132,7 @@ class GridReport:
 
     def to_dict(self) -> Dict[str, object]:
         return {
-            "schema_version": RESULT_SCHEMA_VERSION,
+            "schema_version": serialize.RESULT_SCHEMA_VERSION,
             "scenario": self.scenario,
             "axis": self.axis,
             "cells": len(self.outcomes),
@@ -170,7 +169,7 @@ def _load_checkpoint(
         return None
     if not isinstance(payload, dict):
         return None
-    if payload.get("schema_version") != RESULT_SCHEMA_VERSION:
+    if payload.get("schema_version") != serialize.RESULT_SCHEMA_VERSION:
         return None
     descriptor = payload.get("cell")
     if not isinstance(descriptor, dict) or descriptor.get("cell_id") != cell.cell_id:
@@ -181,7 +180,7 @@ def _load_checkpoint(
     # A checkpoint only counts for the *same* experiment: overrides,
     # --full-scale or edited scenario definitions change the resolved config
     # without changing the cell id, and must recompute rather than reuse.
-    if result.get("config") != config_to_dict(cell.config):
+    if result.get("config") != serialize.config_to_dict(cell.config):
         return None
     return payload
 

@@ -10,6 +10,8 @@ paper reports.
 from __future__ import annotations
 
 import math
+
+from repro.errors import MetricsError
 from typing import Dict, Iterable, List, Mapping, Sequence
 
 
@@ -29,7 +31,7 @@ def group_ranked(
     """
     ranked = ranked_distribution(values)
     if group_size <= 0:
-        raise ValueError("group_size must be positive")
+        raise MetricsError("group_size must be positive")
     groups: List[float] = []
     for start in range(0, len(ranked), group_size):
         chunk = ranked[start : start + group_size]
@@ -38,7 +40,7 @@ def group_ranked(
         elif aggregate == "mean":
             groups.append(float(sum(chunk)) / len(chunk))
         else:
-            raise ValueError(f"unknown aggregate {aggregate!r}")
+            raise MetricsError(f"unknown aggregate {aggregate!r}")
     return groups
 
 

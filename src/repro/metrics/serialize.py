@@ -16,19 +16,64 @@ from __future__ import annotations
 
 import math
 from dataclasses import fields
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.config import ChurnSpec, ExperimentConfig, QueryChurnSpec
 from repro.experiments.runner import ExperimentResult
 from repro.sql.ast import WindowSpec
 
-#: v4: the query lifecycle subsystem added ``ExperimentConfig.query_churn``
-#: and ``ExperimentConfig.owner_failover`` (plus the lifecycle counters in
-#: the metrics summary); checkpoints written under v3 are recomputed by the
-#: grid runner, but v3 result files still *load* — ``result_from_dict``,
-#: ``load_cells`` and ``report --diff`` accept any schema version.
-#: (v3: ``ExperimentConfig.store_backend`` joined the config schema.)
-RESULT_SCHEMA_VERSION = 4
+#: v5: the metrics-summary key set is now *declared* (:data:`SUMMARY_SCHEMA`)
+#: and machine-checked against ``RJoinEngine.metrics_summary`` by the static
+#: analysis suite (``python -m repro.analysis check``, rule
+#: ``metrics-registry``) — adding or removing a summary counter without
+#: updating the declaration fails lint instead of shipping silent drift.
+#: Older result files still *load* — ``result_from_dict``, ``load_cells``
+#: and ``report --diff`` accept any schema version.
+#: (v4: query lifecycle added ``ExperimentConfig.query_churn`` /
+#: ``ExperimentConfig.owner_failover`` plus the lifecycle counters;
+#: v3: ``ExperimentConfig.store_backend`` joined the config schema.)
+RESULT_SCHEMA_VERSION = 5
+
+#: The declared key set of ``RJoinEngine.metrics_summary`` — the flat
+#: per-run metric dictionary embedded in every result cell (``summary`` /
+#: ``baseline`` / ``warmup_baseline`` fields and checkpoint snapshots).
+#: Keep in lock step with ``core/engine.py``; the ``metrics-registry``
+#: analysis rule enforces equality in both directions at lint time, and
+#: ``tests/analysis/test_schema_sync.py`` enforces it at runtime.
+SUMMARY_SCHEMA: Tuple[str, ...] = (
+    "nodes",
+    "published_tuples",
+    "submitted_queries",
+    "active_queries",
+    "total_messages",
+    "ric_messages",
+    "messages_per_node",
+    "ric_messages_per_node",
+    "total_qpl",
+    "qpl_per_node",
+    "total_storage",
+    "storage_per_node",
+    "current_storage",
+    "answers",
+    "participating_nodes",
+    "membership_events",
+    "joins",
+    "leaves",
+    "crashes",
+    "records_rehomed",
+    "bytes_rehomed",
+    "records_lost",
+    "bytes_lost",
+    "dropped_messages",
+    "stale_one_hop_attempts",
+    "queries_removed",
+    "records_retracted",
+    "records_vacuumed",
+    "orphaned_state_records",
+    "failover_reregistrations",
+    "replica_repairs",
+    "answers_rerouted",
+)
 
 
 # ---------------------------------------------------------------------------

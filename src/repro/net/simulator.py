@@ -39,7 +39,7 @@ class EventHandle:
 
     __slots__ = ("_event", "_kernel")
 
-    def __init__(self, event: _ScheduledEvent, kernel: "SimulationKernel"):
+    def __init__(self, event: _ScheduledEvent, kernel: "SimulationKernel") -> None:
         self._event = event
         self._kernel = kernel
 
@@ -65,7 +65,7 @@ class EventHandle:
 class SimulationKernel:
     """Deterministic discrete-event scheduler with a floating-point clock."""
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
         self._heap: List[_ScheduledEvent] = []
         self._sequence = itertools.count()

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Any, FrozenSet, List, Optional, Tuple, Union
 
 from repro.data.schema import AttributeRef, Catalog
-from repro.errors import UnsupportedQueryError
+from repro.errors import PredicateBindingError, UnsupportedQueryError
 
 
 @dataclass(frozen=True, order=True)
@@ -65,7 +65,9 @@ class JoinPredicate:
             return self.left
         if self.right.relation == relation:
             return self.right
-        raise ValueError(f"predicate {self} does not reference {relation!r}")
+        raise PredicateBindingError(
+            f"predicate {self} does not reference {relation!r}"
+        )
 
     def other_side(self, relation: str) -> AttributeRef:
         """Return the side of the predicate that does *not* belong to ``relation``.
@@ -79,7 +81,9 @@ class JoinPredicate:
             return self.left
         if self.left.relation == relation and self.right.relation == relation:
             return self.right
-        raise ValueError(f"predicate {self} does not reference {relation!r}")
+        raise PredicateBindingError(
+            f"predicate {self} does not reference {relation!r}"
+        )
 
     def normalized(self) -> "JoinPredicate":
         """Return an equivalent predicate with deterministically ordered sides."""

@@ -34,7 +34,9 @@ class ZipfSampler:
             raise ConfigurationError("the Zipf parameter theta must be non-negative")
         self.num_items = num_items
         self.theta = theta
-        self._rng = rng or random.Random()
+        # A fixed-seed fallback keeps the sampler deterministic even when no
+        # RNG is threaded through (the workload generator always passes one).
+        self._rng = rng or random.Random(0)
         weights = np.arange(1, num_items + 1, dtype=float) ** (-theta)
         probabilities = weights / weights.sum()
         self._probabilities: List[float] = probabilities.tolist()

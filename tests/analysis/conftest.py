@@ -1,0 +1,8 @@
+"""Shared helpers for the static-analysis test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Root of the seeded-violation fixture trees (see fixtures/README.md).
+FIXTURES = Path(__file__).parent / "fixtures"

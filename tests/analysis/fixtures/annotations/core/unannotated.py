@@ -1,0 +1,17 @@
+"""Fixture functions with incomplete signatures (strict-typing gate)."""
+
+
+def no_return_annotation(value: int):  # VIOLATION: missing return annotation
+    return value * 2
+
+
+class Holder:
+    def __init__(self, value):  # VIOLATION: missing value + return
+        self.value = value
+
+    def get(self) -> int:
+        return self.value
+
+
+def tolerated(value):  # repro: allow[annotation-completeness]
+    return value

@@ -1,0 +1,5 @@
+"""Fixture file that does not parse (exercises the parse-error pseudo-rule)."""
+
+
+def broken(:
+    return None

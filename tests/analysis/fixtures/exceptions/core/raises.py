@@ -1,0 +1,34 @@
+"""Fixture raise sites for the exception-discipline rule."""
+
+
+class FixtureError(Exception):
+    """Stand-in for a repro.errors subclass (subclassing is not raising)."""
+
+
+def reject(value):
+    if value < 0:
+        raise ValueError("negative")  # VIOLATION: bare builtin raise
+    return value
+
+
+def explode():
+    raise RuntimeError  # VIOLATION: bare builtin raise (no call)
+
+
+def tolerated(value):
+    if value < 0:
+        raise ValueError("negative")  # repro: allow[exception-discipline]
+    return value
+
+
+def fine(value):
+    if value < 0:
+        raise FixtureError("negative")
+    return value
+
+
+def reraise(value):
+    try:
+        return fine(value)
+    except FixtureError:
+        raise  # bare re-raise is always fine

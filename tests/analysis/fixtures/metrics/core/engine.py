@@ -1,0 +1,17 @@
+"""Fixture engine whose metrics_summary drifts from the declared schema."""
+
+from metrics.collectors import ChurnStats
+
+
+class RJoinEngine:
+    def __init__(self):
+        self.churn = ChurnStats()
+
+    def metrics_summary(self):
+        return {
+            "joins": self.churn.joins,
+            # VIOLATION: ghost_metric is not defined on ChurnStats.
+            "ghost_reads": self.churn.ghost_metric,
+            # VIOLATION: emitted but not declared in SUMMARY_SCHEMA.
+            "extra_key": 0,
+        }

@@ -1,0 +1,26 @@
+"""Fixture ChurnStats with seeded counter/property/summary gaps."""
+
+
+class ChurnStats:
+    def __init__(self):
+        self._joins = 0
+        self._orphans = 0
+        self._hidden = 0
+
+    def record_join(self):
+        self._joins += 1
+
+    def record_orphan(self):
+        self._orphans += 1
+
+    def record_hidden(self):
+        self._hidden += 1  # VIOLATION: no @property ever reads _hidden back
+
+    @property
+    def joins(self):
+        return self._joins
+
+    @property
+    def orphans(self):
+        # VIOLATION: exposed, but metrics_summary never consumes it.
+        return self._orphans

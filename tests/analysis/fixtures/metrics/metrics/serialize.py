@@ -1,0 +1,7 @@
+"""Fixture schema declaration with one stale entry."""
+
+SUMMARY_SCHEMA = (
+    "joins",
+    # VIOLATION: declared but metrics_summary never emits it.
+    "stale_key",
+)

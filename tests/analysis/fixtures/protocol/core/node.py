@@ -1,0 +1,32 @@
+"""Fixture dispatcher with a dead arm and an unaccounted message."""
+
+from core.protocol import HandledMessage, UnroutedMessage, UnsentMessage
+
+
+class GhostMessage:
+    """Not a declared Message subclass — its dispatch arm is dead code."""
+
+
+class RJoinNode:
+    def __init__(self, service):
+        self.service = service
+
+    def handle_envelope(self, message):
+        if isinstance(message, HandledMessage):
+            return "handled"
+        if isinstance(message, UnsentMessage):
+            return "unsent"
+        if isinstance(message, GhostMessage):  # VIOLATION: dead dispatch arm
+            return "ghost"
+        return None
+
+    def announce(self, target):
+        # Accounted send sites for HandledMessage and UnroutedMessage:
+        # construction plus a messaging-primitive call in one function.
+        self.service.send(target, HandledMessage())
+        self.service.send(target, UnroutedMessage())
+
+    def mint_without_sending(self):
+        # VIOLATION (for UnsentMessage): constructed, but no function ever
+        # pairs the construction with send/multi_send/send_direct.
+        return UnsentMessage()

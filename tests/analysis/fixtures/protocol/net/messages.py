@@ -1,0 +1,7 @@
+"""Fixture wire-message base (mirrors repro/net/messages.py)."""
+
+
+class Message:
+    """Base class every fixture protocol message derives from."""
+
+    kind = "base"

@@ -1,0 +1,30 @@
+"""Fixture store registry (mirrors repro/data/backends.py)."""
+
+from abc import ABC, abstractmethod
+
+
+class StoreBackend(ABC):
+    @abstractmethod
+    def add(self, key, tup):
+        raise NotImplementedError
+
+    @abstractmethod
+    def match(self, key):
+        raise NotImplementedError
+
+    def add_batch(self, items):
+        for key, tup in items:
+            self.add(key, tup)
+
+    def match_batch(self, keys):
+        return [self.match(key) for key in keys]
+
+
+def make_store(backend):
+    if backend == "good":
+        from repro.data.good_backend import GoodBackend
+
+        return GoodBackend()
+    from repro.data.rogue_backend import RogueBackend
+
+    return RogueBackend()

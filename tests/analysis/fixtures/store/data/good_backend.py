@@ -1,0 +1,14 @@
+"""Fixture backend that honours the whole store contract."""
+
+from repro.data.backends import StoreBackend
+
+
+class GoodBackend(StoreBackend):
+    def __init__(self):
+        self._rows = {}
+
+    def add(self, key, tup):
+        self._rows.setdefault(key, []).append(tup)
+
+    def match(self, key):
+        return list(self._rows.get(key, []))

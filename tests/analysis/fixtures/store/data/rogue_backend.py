@@ -1,0 +1,16 @@
+"""Fixture backend violating every clause of the store contract."""
+
+
+class RogueBackend:
+    # VIOLATION: does not inherit StoreBackend (no batch fallbacks apply).
+    # VIOLATION: never implements the abstract ``match``.
+
+    def __init__(self):
+        self._rows = {}
+
+    def add(self, key, tup):
+        self._rows.setdefault(key, []).append(tup)
+
+    def match_batch(self, keys, eager=False):
+        # VIOLATION: renames/extends the batch-contract signature.
+        return [self._rows.get(key, []) for key in keys]

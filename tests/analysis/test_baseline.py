@@ -1,0 +1,118 @@
+"""Baseline (grandfathering) semantics: fingerprints, budgets, round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    analyze,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.base import Finding
+from repro.errors import AnalysisError
+
+from tests.analysis.conftest import FIXTURES
+
+
+def make_finding(line: int = 10, message: str = "boom") -> Finding:
+    return Finding(
+        rule="determinism-purity", path="core/x.py", line=line, message=message
+    )
+
+
+class TestFingerprint:
+    def test_stable_and_line_independent(self):
+        assert fingerprint(make_finding(10)) == fingerprint(make_finding(99))
+
+    def test_sensitive_to_rule_path_message(self):
+        base = fingerprint(make_finding())
+        other = Finding(
+            rule="exception-discipline",
+            path="core/x.py",
+            line=10,
+            message="boom",
+        )
+        assert fingerprint(other) != base
+        assert fingerprint(make_finding(message="other")) != base
+
+
+class TestApplyBaseline:
+    def test_count_budget_caps_suppression(self):
+        first, second, third = (make_finding(line) for line in (1, 2, 3))
+        budget = {fingerprint(first): 2}
+        active, suppressed = apply_baseline([first, second, third], budget)
+        # Two grandfathered occurrences are silenced; the third stays active.
+        assert [f.line for f in suppressed] == [1, 2]
+        assert [f.line for f in active] == [3]
+        assert all(f.suppressed_by == "baseline" for f in suppressed)
+
+    def test_empty_baseline_suppresses_nothing(self):
+        findings = [make_finding(1), make_finding(2)]
+        active, suppressed = apply_baseline(findings, {})
+        assert active == findings
+        assert suppressed == []
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [make_finding(1), make_finding(2), make_finding(3, "other")]
+        count = write_baseline(path, findings)
+        assert count == 2  # two distinct fingerprints
+        loaded = load_baseline(path)
+        assert loaded[fingerprint(make_finding())] == 2
+        assert loaded[fingerprint(make_finding(message="other"))] == 1
+        # Entries carry a human-readable echo for review.
+        document = json.loads(path.read_text())
+        sample = next(iter(document["entries"].values()))
+        assert {"count", "rule", "path", "message"} <= set(sample)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_invalid_json_is_an_analysis_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+
+    def test_missing_entries_key_is_an_analysis_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 1}))
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+
+
+class TestBaselineEndToEnd:
+    def test_grandfathered_fixture_passes_under_its_baseline(self, tmp_path):
+        root = FIXTURES / "determinism"
+        rule = ["determinism-purity"]
+        dirty = analyze(root, rule)
+        assert not dirty.ok
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, dirty.active)
+
+        clean = analyze(root, rule, baseline_path=baseline_path)
+        assert clean.ok
+        baselined = [
+            f for f in clean.suppressed if f.suppressed_by == "baseline"
+        ]
+        assert len(baselined) == len(dirty.active)
+
+    def test_allowlist_wins_before_baseline(self, tmp_path):
+        # Allowlisted findings never consume baseline budget.
+        root = FIXTURES / "determinism"
+        rule = ["determinism-purity"]
+        dirty = analyze(root, rule)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, dirty.active)
+        clean = analyze(root, rule, baseline_path=baseline_path)
+        allowlisted = [
+            f for f in clean.suppressed if f.suppressed_by == "allowlist"
+        ]
+        assert len(allowlisted) == 2

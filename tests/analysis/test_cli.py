@@ -1,0 +1,98 @@
+"""CLI contract of ``python -m repro.analysis``: exit codes and formats."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cli import main
+from repro.analysis.rules import ALL_RULES
+
+from tests.analysis.conftest import FIXTURES
+
+DETERMINISM = str(FIXTURES / "determinism")
+
+
+class TestExitCodes:
+    def test_findings_exit_one(self, capsys):
+        assert main(["check", DETERMINISM]) == 1
+        out = capsys.readouterr().out
+        assert "[determinism-purity]" in out
+
+    def test_clean_tree_exits_zero(self, capsys, tmp_path):
+        clean = tmp_path / "pkg"
+        (clean / "core").mkdir(parents=True)
+        (clean / "core" / "ok.py").write_text("X: int = 1\n")
+        assert main(["check", str(clean)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["check", DETERMINISM, "--rules", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_tree_exits_two(self, capsys, tmp_path):
+        assert main(["check", str(tmp_path / "absent")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+
+class TestFormats:
+    def test_json_document(self, capsys):
+        code = main(["check", DETERMINISM, "--format", "json"])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert document["active_count"] == len(document["findings"])
+        assert {"rule", "path", "line", "message"} <= set(
+            document["findings"][0]
+        )
+
+    def test_github_annotations(self, capsys):
+        code = main(["check", DETERMINISM, "--format", "github"])
+        assert code == 1
+        lines = capsys.readouterr().out.splitlines()
+        annotations = [line for line in lines if line.startswith("::error ")]
+        assert annotations
+        # The prefix maps fixture-relative paths onto repo-relative ones.
+        assert all("file=src/repro/core/" in line for line in annotations)
+        assert all("line=" in line for line in annotations)
+
+    def test_verbose_lists_suppressed(self, capsys):
+        main(["check", DETERMINISM, "--verbose"])
+        assert "(suppressed: allowlist)" in capsys.readouterr().out
+
+
+class TestRuleSelection:
+    def test_rules_flag_scopes_the_run(self, capsys):
+        code = main(
+            ["check", DETERMINISM, "--rules", "exception-discipline"]
+        )
+        # The determinism fixture has no exception violations.
+        assert code == 0
+
+    def test_list_prints_every_rule(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.name in out
+
+
+class TestBaselineFlow:
+    def test_write_then_check_with_baseline(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                ["check", DETERMINISM, "--write-baseline", "--baseline",
+                 str(baseline)]
+            )
+            == 0
+        )
+        assert baseline.exists()
+        assert (
+            main(["check", DETERMINISM, "--baseline", str(baseline)]) == 0
+        )
+        assert (
+            main(
+                ["check", DETERMINISM, "--baseline", str(baseline),
+                 "--no-baseline"]
+            )
+            == 1
+        )

@@ -1,0 +1,48 @@
+"""Runtime twin of the ``metrics-registry`` lint rule.
+
+The static rule pins the *source* of ``RJoinEngine.metrics_summary``
+against the declared :data:`~repro.metrics.serialize.SUMMARY_SCHEMA`;
+this test pins the *runtime* dictionary an actual engine produces, closing
+the loop on schema v5 (see ``metrics/serialize.py``).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from repro.core.config import RJoinConfig
+from repro.core.engine import RJoinEngine
+from repro.data.schema import Catalog
+from repro.metrics.serialize import RESULT_SCHEMA_VERSION, SUMMARY_SCHEMA
+
+
+def test_schema_declares_no_duplicates():
+    assert len(SUMMARY_SCHEMA) == len(set(SUMMARY_SCHEMA))
+
+
+def test_runtime_summary_matches_declared_schema():
+    catalog = Catalog()
+    catalog.add_relation("R", ["a", "b"])
+    catalog.add_relation("S", ["c", "d"])
+    engine = RJoinEngine(RJoinConfig(num_nodes=8, seed=11), catalog=catalog)
+    engine.publish("R", {"a": "1", "b": "2"})
+    summary = engine.metrics_summary()
+    assert set(summary) == set(SUMMARY_SCHEMA)
+
+
+def test_serialize_imports_first_in_a_fresh_interpreter():
+    # Regression: serialize -> experiments -> parallel used to be a cycle
+    # that crashed whenever metrics.serialize was the *first* repro import.
+    proc = subprocess.run(
+        [sys.executable, "-c", "import repro.metrics.serialize"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_schema_version_is_bumped_for_the_declared_schema():
+    # The declared key set landed with schema v5; loading older files stays
+    # supported, but writers must stamp the current version.
+    assert RESULT_SCHEMA_VERSION >= 5

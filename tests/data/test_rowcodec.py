@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.data.rowcodec import pack_values, unpack_values
+from repro.errors import CodecError
 
 
 def roundtrip(values: tuple) -> tuple:
@@ -59,5 +60,5 @@ class TestRoundTrips:
         assert roundtrip(values) == values
 
     def test_corrupt_tag_raises(self):
-        with pytest.raises(ValueError, match="unknown row-codec tag"):
+        with pytest.raises(CodecError, match="unknown row-codec tag"):
             unpack_values(b"V\xff")

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import MetricsError
 from repro.metrics.report import (
     format_table,
     group_ranked,
@@ -26,9 +27,9 @@ class TestRankedDistribution:
         assert grouped == [20.0, 4.0]
 
     def test_group_ranked_invalid(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(MetricsError):
             group_ranked([1], group_size=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(MetricsError):
             group_ranked([1], aggregate="median")
 
     def test_participation_count(self):

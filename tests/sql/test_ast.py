@@ -3,7 +3,7 @@
 import pytest
 
 from repro.data.schema import AttributeRef
-from repro.errors import UnsupportedQueryError
+from repro.errors import PredicateBindingError, UnsupportedQueryError
 from repro.sql.ast import (
     Constant,
     JoinPredicate,
@@ -36,7 +36,7 @@ class TestJoinPredicate:
         jp = JoinPredicate(AttributeRef("R", "a"), AttributeRef("S", "b"))
         assert jp.side_for("R") == AttributeRef("R", "a")
         assert jp.other_side("R") == AttributeRef("S", "b")
-        with pytest.raises(ValueError):
+        with pytest.raises(PredicateBindingError):
             jp.side_for("T")
 
     def test_normalized_is_deterministic(self):
