@@ -1,6 +1,6 @@
-"""Query-lifecycle cost: removal vs query count, failover re-registration.
+"""Query-lifecycle cost: removal vs query count, failover, matching vs Q.
 
-Two suites, recorded in ``benchmarks/BENCH_query_lifecycle.json``:
+Three suites, recorded in ``benchmarks/BENCH_query_lifecycle.json``:
 
 * **remove** — builds a warmed-up engine per population size (queries
   indexed, tuples stored), then retracts a fixed batch of queries and
@@ -11,6 +11,11 @@ Two suites, recorded in ``benchmarks/BENCH_query_lifecycle.json``:
   owner of a live query handle and records wall-clock per failover and
   re-registrations per crash (handle adoption by the ring successor plus
   replica repair).
+* **matching** — trigger-match throughput as the resident query count
+  scales through 10^3/10^4/10^5 (delegated to
+  ``bench_query_matching._measure_matching``): the lifecycle of a large
+  query population is only viable when tuple arrivals stay sublinear in
+  it, so the sweep rides along here as well as in the dedicated report.
 
 Usage::
 
@@ -41,6 +46,8 @@ DEFAULT_SIZES = {
     "query_counts": (100, 200, 400),
     "removals": 40,
     "crashes": 12,
+    "matching_counts": (1_000, 10_000, 100_000),
+    "matching_probes": 20_000,
 }
 SMOKE_SIZES = {
     "nodes": 12,
@@ -48,7 +55,17 @@ SMOKE_SIZES = {
     "query_counts": (8,),
     "removals": 3,
     "crashes": 2,
+    "matching_counts": (200,),
+    "matching_probes": 500,
 }
+
+
+def _import_sibling(name: str):
+    """Import a sibling benchmark module (works from the repo root too)."""
+    try:
+        return __import__(name)
+    except ImportError:
+        return __import__(f"benchmarks.{name}", fromlist=[name])
 
 
 def _build_engine(nodes: int, queries: int, tuples: int, seed: int = 9):
@@ -148,7 +165,15 @@ def run_bench(smoke: bool = False, **overrides) -> Dict[str, object]:
             sizes["crashes"],
         )
     )
+    matching = _import_sibling("bench_query_matching")
+    for num_queries in sizes["matching_counts"]:
+        row = matching._measure_matching(
+            num_queries, sizes["matching_probes"], linear_arrivals=5
+        )
+        row["name"] = f"matching-q{num_queries}"
+        results.append(row)
     sizes["query_counts"] = list(sizes["query_counts"])
+    sizes["matching_counts"] = list(sizes["matching_counts"])
     return {"smoke": smoke, "sizes": sizes, "results": results}
 
 
@@ -174,17 +199,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         tuples=args.tuples,
     )
     for row in report["results"]:
-        if str(row["name"]).startswith("remove"):
+        name = str(row["name"])
+        if name.startswith("remove"):
             print(
                 f"remove   (Q={row['queries']:4d}): {row['removals']} removals, "
                 f"{row['seconds_per_removal'] * 1000:.2f} ms/removal, "
                 f"{row['records_retracted']} records retracted"
             )
-        else:
+        elif name.startswith("failover"):
             print(
                 f"failover (Q={row['queries']:4d}): {row['crashes']} crashes, "
                 f"{row['seconds_per_crash'] * 1000:.2f} ms/crash, "
                 f"{row['reregistrations_per_crash']:.1f} reregistrations/crash"
+            )
+        else:
+            rates = row["ops_per_sec"]
+            print(
+                f"matching (Q={row['resident_queries']:6d}): "
+                f"indexed {rates['indexed_probe']:12,.0f} probes/s, "
+                f"{row['indexed_speedup']:8.1f}x over linear scan"
             )
     if not args.smoke:
         args.output.write_text(json.dumps(report, indent=2, sort_keys=True))

@@ -111,6 +111,15 @@ SMOKE_SUITES: List[
         lambda module: module.run_bench(smoke=False),
         lambda report: f"{len(report['results'])} lifecycle suites",
     ),
+    (
+        "bench_query_matching",
+        lambda module: module.run_bench(smoke=True),
+        lambda module: module.run_bench(smoke=False),
+        lambda report: (
+            f"{len(report['results'])} population sizes, "
+            f"{report['sharing']['storage_savings']:.0%} sharing savings"
+        ),
+    ),
 ]
 
 

@@ -58,12 +58,24 @@ class RJoinConfig:
         tuples forever, a number sets Δ explicitly.
     count_altt_in_storage:
         Whether ALTT entries count towards the storage-load metric.
+    shared_query_state:
+        Whether equivalent query states (same residual query, window state
+        and insertion time — equal modulo query id) are canonicalized into
+        one shared physical record whose answers fan out per subscriber
+        (multi-query sharing).  Disabling restores strictly private
+        per-query state; answers are identical either way.
     ric_window:
         Horizon (in simulated time) of the per-key arrival counting used as
         RIC information; ``None`` counts arrivals since the beginning.
     ric_freshness:
         Maximum age of a cached candidate-table entry before the candidate
         node is asked again; ``None`` caches forever.
+    ric_max_tracked_keys:
+        Per-node bound on the number of distinct keys the RIC rate tracker
+        keeps arrival state for; the least recently *recorded* key is
+        evicted first (its reported rate falls back to 0.0 — RIC entries
+        are advisory).  ``None`` removes the bound, restoring unbounded
+        growth under million-distinct-key floods.
     tuple_gc_window:
         When every continuous query of the run uses the same sliding window,
         stored tuples older than this window can be garbage collected; the
@@ -102,10 +114,12 @@ class RJoinConfig:
     append_log_compact_min_dead: int = 64
     append_log_compact_fraction: float = 0.5
     allow_attribute_level_rewrites: bool = False
+    shared_query_state: bool = True
     altt_delta: Union[str, float, None] = AUTO
     count_altt_in_storage: bool = False
     ric_window: Optional[float] = None
     ric_freshness: Optional[float] = None
+    ric_max_tracked_keys: Optional[int] = 65536
     tuple_gc_window: Optional[WindowSpec] = None
     gc_every_tuples: int = 50
     owner_failover: bool = True
@@ -140,6 +154,8 @@ class RJoinConfig:
             raise ConfigurationError("ric_window must be positive")
         if self.ric_freshness is not None and self.ric_freshness < 0:
             raise ConfigurationError("ric_freshness must be non-negative")
+        if self.ric_max_tracked_keys is not None and self.ric_max_tracked_keys <= 0:
+            raise ConfigurationError("ric_max_tracked_keys must be positive")
         if self.gc_every_tuples <= 0:
             raise ConfigurationError("gc_every_tuples must be positive")
         if self.rebalance_every_tuples <= 0:

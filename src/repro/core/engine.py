@@ -117,6 +117,15 @@ class RJoinEngine:
             is_retracted=lambda query_id: self.lifecycle.is_retracted(query_id),
             record_orphaned=lambda count: self.churn.record_orphaned(count),
             record_retracted=self._note_retraction_purge,
+            record_candidates_scanned=lambda count: (
+                self.churn.record_trigger_candidates_scanned(count)
+            ),
+            record_queries_triggered=lambda count: (
+                self.churn.record_queries_triggered(count)
+            ),
+            record_shared_fanout=lambda count: (
+                self.churn.record_shared_state_fanout(count)
+            ),
         )
         self.nodes: Dict[str, RJoinNode] = {}
         for chord_node in self.ring.nodes:
@@ -896,6 +905,12 @@ class RJoinEngine:
             ),
             "replica_repairs": float(self.churn.replica_repairs),
             "answers_rerouted": float(self.churn.answers_rerouted),
+            # Million-query matching (query index + shared state) ----------
+            "queries_triggered": float(self.churn.queries_triggered),
+            "trigger_candidates_scanned": float(
+                self.churn.trigger_candidates_scanned
+            ),
+            "shared_state_fanout": float(self.churn.shared_state_fanout),
         }
 
     @property

@@ -36,6 +36,18 @@ query after submission:
   ring mutations move the successor of an owner (joins, graceful leaves,
   crashes of the replica itself, id movement).
 
+* **Shared rewritten-query state** — with
+  :attr:`~repro.core.config.RJoinConfig.shared_query_state` enabled,
+  canonically equal rewritten states collapse into one stored record with a
+  subscriber list (see :class:`repro.core.protocol.QueryState`), and both
+  transitions above become *per-subscriber*: retraction detaches only the
+  removed query's subscriptions (promoting a surviving subscriber to
+  primary when the record's nominal owner is retracted — the record keeps
+  serving its co-subscribers), and the answer path resolves the live owner
+  through :meth:`QueryLifecycleManager.resolve_owner` for each subscriber
+  independently, so an owner crash re-routes exactly the crashed
+  subscriber's answer stream and leaves the others untouched.
+
 Everything the subsystem does is measured through the lifecycle counters of
 :class:`~repro.metrics.collectors.ChurnStats` (``queries_removed``,
 ``orphaned_state_records``, ``failover_reregistrations``,

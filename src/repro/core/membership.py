@@ -72,6 +72,9 @@ def estimate_item_bytes(item: "RehomedItem") -> int:
         size += len(repr(tup.values))
     elif kind in ("input", "rewritten"):
         size += len(repr(payload.state.query))
+        # A shared record carries its extra subscribers' registrations too.
+        if payload.state.extra_subscribers:
+            size += len(repr(payload.state.extra_subscribers))
     else:
         size += len(repr(payload))
     return size

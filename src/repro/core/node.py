@@ -29,6 +29,7 @@ from typing import (
     TYPE_CHECKING,
     Callable,
     Dict,
+    Hashable,
     Iterable,
     List,
     Mapping,
@@ -50,7 +51,11 @@ from repro.core.protocol import (
     RicReplyMessage,
     RicRequestMessage,
 )
-from repro.core.rewriting import rewrite_query
+from repro.core.rewriting import (
+    canonical_state_key,
+    discriminating_selection,
+    rewrite_query,
+)
 from repro.core.ric import CandidateTable, RateTracker, RicEntry
 from repro.core.strategy import (
     IndexingStrategy,
@@ -114,70 +119,310 @@ class NodeContext:
     record_orphaned: Optional[Callable[[int], None]] = None
     #: Sink for per-node retraction purges (records deleted per query).
     record_retracted: Optional[Callable[[int], None]] = None
+    # Matching observability (the predicate-aware query index) -------------
+    #: Stored-query candidates fetched by tuple-arrival probes.
+    record_candidates_scanned: Optional[Callable[[int], None]] = None
+    #: Stored queries whose rewrite actually fired (non-dead trigger).
+    record_queries_triggered: Optional[Callable[[int], None]] = None
+    #: Extra subscribers served per shared-state answer emission.
+    record_shared_fanout: Optional[Callable[[int], None]] = None
 
 
 @dataclass
 class StoredQueryRecord:
-    """A (rewritten or input) query stored at a node, with local bookkeeping."""
+    """A (rewritten or input) query stored at a node, with local bookkeeping.
+
+    ``seq``, ``discriminator`` and ``share_key`` are maintained by the
+    :class:`QueryTable` the record currently lives in: the insertion sequence
+    number (the deterministic trigger order), the ``(attribute, value)``
+    selection the predicate-aware index filed the record under (None for
+    wildcard records) and the canonical sharing key of its state (None when
+    the state is not shareable or sharing is disabled).
+    """
 
     state: QueryState
     key: IndexKey
     stored_at: float
     tracker: Optional[ProjectionTracker] = None
+    seq: int = 0
+    discriminator: Optional[TupleT[str, object]] = None
+    share_key: Optional[Hashable] = None
+
+
+class _KeyBucket:
+    """The records stored under one key text, sub-indexed for probing.
+
+    ``records`` maps the table-wide insertion sequence number to the record
+    (dict order = insertion order = deterministic trigger order).  Every
+    record additionally lives either in ``wildcard`` (no usable
+    discriminating selection) or in ``by_value[attribute][value]`` — the
+    predicate-aware index an arriving tuple probes with its own values.
+    ``expiry`` holds per-window-mode ``(deadline, seq)`` min-heaps so the
+    trigger path drops aged-out records without scanning the bucket, and
+    ``by_share`` maps a canonical sharing key to the hosting record's seq.
+    """
+
+    __slots__ = (
+        "records",
+        "wildcard",
+        "by_value",
+        "by_share",
+        "expiry",
+        "version",
+        "last_probe",
+    )
+
+    def __init__(self) -> None:
+        self.records: Dict[int, StoredQueryRecord] = {}
+        self.wildcard: Dict[int, StoredQueryRecord] = {}
+        self.by_value: Dict[str, Dict[object, Dict[int, StoredQueryRecord]]] = {}
+        self.by_share: Dict[Hashable, int] = {}
+        self.expiry: Dict[str, List[TupleT[float, int]]] = {
+            "time": [],
+            "tuples": [],
+        }
+        #: Mutation counter; bumped on every add/remove so probe plans and
+        #: memoised candidate lists can be invalidated cheaply.
+        self.version = 0
+        #: Batch-aware probe memo: ``(version, values signature, candidates)``
+        #: of the last probe.  A ``publish_batch`` burst delivers many tuples
+        #: to the same key back to back; while the bucket is unchanged and
+        #: the tuples carry the same discriminating values, the candidate
+        #: list is assembled once and reused.
+        self.last_probe: Optional[
+            TupleT[int, TupleT[object, ...], List[StoredQueryRecord]]
+        ] = None
 
 
 class QueryTable:
-    """Key-addressed stored-query records with O(1) size and heap-driven GC.
+    """Predicate-aware stored-query index with O(1) size and heap-driven GC.
 
     Both node-local query tables (input and rewritten) use this structure.
-    Besides the plain ``key text -> records`` mapping it maintains an
-    incremental size counter (the storage-load accounting used to re-count
-    every list on each access) and, per window mode, a min-heap of expiry
-    deadlines so a garbage-collection tick only touches records that have
-    actually expired.
+    Under each key text, records are sub-indexed by the discriminating bound
+    values their trigger conditions test (see
+    :func:`~repro.core.rewriting.discriminating_selection`), so a tuple
+    arrival fetches only the records its values can actually rewrite —
+    mirroring the tuple store's prefix index, but over queries.  The table
+    also keeps per-bucket and table-wide expiry heaps (window GC without
+    scans) and a per-bucket registry of canonical sharing keys for
+    multi-query state sharing.
     """
 
     __slots__ = ("_by_key", "_size", "_expiry", "_tiebreak")
 
     def __init__(self) -> None:
-        self._by_key: Dict[str, List[StoredQueryRecord]] = {}
+        self._by_key: Dict[str, _KeyBucket] = {}
         self._size = 0
-        # mode -> (deadline, tiebreak, key text, record) min-heap.  Entries
-        # are never removed eagerly; stale ones (records dropped through the
+        # mode -> (deadline, seq, key text, record) min-heap.  Entries are
+        # never removed eagerly; stale ones (records dropped through the
         # trigger path or rehomed) are skipped by an identity check.
-        self._expiry: Dict[str, List] = {"time": [], "tuples": []}
+        self._expiry: Dict[str, List[TupleT[float, int, str, StoredQueryRecord]]] = {
+            "time": [],
+            "tuples": [],
+        }
         self._tiebreak = itertools.count()
 
     def add(self, key_text: str, record: StoredQueryRecord) -> None:
-        """Store ``record`` under ``key_text``."""
-        self._by_key.setdefault(key_text, []).append(record)
+        """Store ``record`` under ``key_text``, (re)indexing it for probes."""
+        bucket = self._by_key.get(key_text)
+        if bucket is None:
+            bucket = _KeyBucket()
+            self._by_key[key_text] = bucket
+        seq = next(self._tiebreak)
+        record.seq = seq
+        bucket.records[seq] = record
+        bucket.version += 1
         self._size += 1
+
+        record.discriminator = self._discriminator_of(record)
+        if record.discriminator is None:
+            bucket.wildcard[seq] = record
+        else:
+            attribute, value = record.discriminator
+            bucket.by_value.setdefault(attribute, {}).setdefault(value, {})[
+                seq
+            ] = record
+
+        if record.share_key is not None:
+            bucket.by_share.setdefault(record.share_key, seq)
+
         window = record.state.query.window
         state = record.state.window_state
         if window is not None and state is not None:
             # expired(window, state, clock) <=> clock > deadline.
             deadline = state.min_clock + window.size - 1
+            heapq.heappush(bucket.expiry[window.mode], (deadline, seq))
             heapq.heappush(
-                self._expiry[window.mode],
-                (deadline, next(self._tiebreak), key_text, record),
+                self._expiry[window.mode], (deadline, seq, key_text, record)
             )
 
+    @staticmethod
+    def _discriminator_of(
+        record: StoredQueryRecord,
+    ) -> Optional[TupleT[str, object]]:
+        """The ``(attribute, value)`` group the record is filed under.
+
+        Only safe discriminators are used: an explicit selection on the
+        record's key relation (step 1 of the rewrite kills mismatching
+        tuples before any other effect).  Records carrying a projection
+        tracker stay wildcard — the DISTINCT tracker mutates on every
+        admitted tuple, so those records must see every arrival.  At the
+        value level the key's own attribute is trivially satisfied by every
+        arriving tuple, so a selection on any *other* attribute is
+        preferred.
+        """
+        if record.tracker is not None:
+            return None
+        key = record.key
+        sp = discriminating_selection(
+            record.state.query,
+            key.relation,
+            prefer_other_than=key.attribute if key.is_value_level else None,
+        )
+        if sp is None:
+            return None
+        try:
+            hash(sp.value)
+        except TypeError:
+            return None
+        return (sp.attribute.attribute, sp.value)
+
+    def _remove_record(
+        self, key_text: str, bucket: _KeyBucket, record: StoredQueryRecord
+    ) -> None:
+        """Unlink ``record`` from every bucket structure (heaps stay lazy)."""
+        seq = record.seq
+        del bucket.records[seq]
+        bucket.version += 1
+        self._size -= 1
+        if record.discriminator is None:
+            bucket.wildcard.pop(seq, None)
+        else:
+            attribute, value = record.discriminator
+            groups = bucket.by_value.get(attribute)
+            if groups is not None:
+                group = groups.get(value)
+                if group is not None:
+                    group.pop(seq, None)
+                    if not group:
+                        del groups[value]
+                        if not groups:
+                            del bucket.by_value[attribute]
+        if (
+            record.share_key is not None
+            and bucket.by_share.get(record.share_key) == seq
+        ):
+            del bucket.by_share[record.share_key]
+        if not bucket.records:
+            del self._by_key[key_text]
+
+    # ------------------------------------------------------------------
+    # probing (the tuple-arrival fast path)
+    # ------------------------------------------------------------------
+    def probe(
+        self,
+        key_text: str,
+        clocks: Mapping[str, float],
+        value_of: Callable[[str], object],
+    ) -> TupleT[List[StoredQueryRecord], int]:
+        """Candidate records for a tuple arrival, plus the expiry-drop count.
+
+        First pops the bucket's expiry heaps for every window mode in
+        ``clocks`` (records whose deadline passed can never be satisfied
+        again — Section 5 — and are dropped exactly like the old linear scan
+        dropped them).  Then assembles the candidates: every wildcard record
+        plus, per discriminating attribute, the records filed under the
+        arriving tuple's value for it (``value_of``).  Candidates come back
+        in insertion order, preserving the deterministic trigger order of
+        the full-scan implementation.
+        """
+        bucket = self._by_key.get(key_text)
+        if bucket is None:
+            return [], 0
+        dropped = 0
+        for mode, clock in clocks.items():
+            heap = bucket.expiry[mode]
+            while heap and heap[0][0] < clock:
+                _, seq = heapq.heappop(heap)
+                record = bucket.records.get(seq)
+                if record is None:
+                    continue
+                self._remove_record(key_text, bucket, record)
+                dropped += 1
+        if not bucket.records:
+            return [], dropped
+        signature: TupleT[object, ...] = (
+            tuple(value_of(attribute) for attribute in bucket.by_value)
+            if bucket.by_value
+            else ()
+        )
+        memo = bucket.last_probe
+        if (
+            memo is not None
+            and memo[0] == bucket.version
+            and memo[1] == signature
+        ):
+            return memo[2], dropped
+        if not bucket.by_value:
+            candidates = list(bucket.records.values())
+            bucket.last_probe = (bucket.version, signature, candidates)
+            return candidates, dropped
+        groups: List[Dict[int, StoredQueryRecord]] = []
+        if bucket.wildcard:
+            groups.append(bucket.wildcard)
+        for by_value, value in zip(bucket.by_value.values(), signature):
+            group = by_value.get(value)
+            if group:
+                groups.append(group)
+        if not groups:
+            candidates = []
+        elif len(groups) == 1:
+            candidates = list(groups[0].values())
+        else:
+            merged: List[TupleT[int, StoredQueryRecord]] = []
+            for group in groups:
+                merged.extend(group.items())
+            merged.sort(key=lambda entry: entry[0])
+            candidates = [record for _, record in merged]
+        bucket.last_probe = (bucket.version, signature, candidates)
+        return candidates, dropped
+
+    def find_share_host(
+        self, key_text: str, share_key: Optional[Hashable]
+    ) -> Optional[StoredQueryRecord]:
+        """The resident record hosting ``share_key``, if any."""
+        if share_key is None:
+            return None
+        bucket = self._by_key.get(key_text)
+        if bucket is None:
+            return None
+        seq = bucket.by_share.get(share_key)
+        if seq is None:
+            return None
+        return bucket.records.get(seq)
+
+    # ------------------------------------------------------------------
+    # plain table access
+    # ------------------------------------------------------------------
     def get(self, key_text: str) -> Optional[List[StoredQueryRecord]]:
         """The records stored under ``key_text`` (None when there are none)."""
-        return self._by_key.get(key_text)
+        bucket = self._by_key.get(key_text)
+        if bucket is None:
+            return None
+        return list(bucket.records.values())
 
     def replace(self, key_text: str, records: List[StoredQueryRecord]) -> None:
         """Swap the record list of ``key_text`` (dropping the key when empty)."""
-        previous = self._by_key.get(key_text)
-        self._size += len(records) - (len(previous) if previous else 0)
-        if records:
-            self._by_key[key_text] = records
-        else:
-            self._by_key.pop(key_text, None)
+        self.pop_key(key_text)
+        for record in records:
+            self.add(key_text, record)
 
     def pop_key(self, key_text: str) -> List[StoredQueryRecord]:
         """Remove and return every record stored under ``key_text``."""
-        records = self._by_key.pop(key_text, [])
+        bucket = self._by_key.pop(key_text, None)
+        if bucket is None:
+            return []
+        records = list(bucket.records.values())
         self._size -= len(records)
         return records
 
@@ -187,7 +432,8 @@ class QueryTable:
 
     def items(self) -> Iterable[TupleT[str, List[StoredQueryRecord]]]:
         """Iterate over ``(key text, records)`` pairs."""
-        return self._by_key.items()
+        for key_text, bucket in self._by_key.items():
+            yield key_text, list(bucket.records.values())
 
     def __iter__(self) -> Iterable[str]:
         return iter(self._by_key)
@@ -196,29 +442,33 @@ class QueryTable:
         """Number of stored records across all keys; O(1)."""
         return self._size
 
-    def remove_query(self, query_id: str) -> List[StoredQueryRecord]:
-        """Remove (and return) every record belonging to ``query_id``.
+    def remove_query(
+        self, query_id: str
+    ) -> TupleT[List[StoredQueryRecord], int]:
+        """Remove or detach every record serving ``query_id``.
 
-        The retraction path of the query lifecycle subsystem.  Stale expiry
-        heap entries for the removed records pop harmlessly later — the
-        identity check of :meth:`gc_expired` skips records that are no
+        The retraction path of the query lifecycle subsystem.  A record
+        whose state serves only ``query_id`` is physically removed; a shared
+        record detaches the subscriber (promoting a new primary when
+        needed) and stays.  Returns ``(removed records, detach count)``.
+        Stale expiry-heap entries for removed records pop harmlessly later —
+        the identity check of :meth:`gc_expired` skips records that are no
         longer stored.
         """
         removed: List[StoredQueryRecord] = []
+        detached = 0
         for key_text in list(self._by_key):
-            records = self._by_key[key_text]
-            kept = [
-                record for record in records
-                if record.state.query_id != query_id
-            ]
-            if len(kept) == len(records):
-                continue
-            removed.extend(
-                record for record in records
-                if record.state.query_id == query_id
-            )
-            self.replace(key_text, kept)
-        return removed
+            bucket = self._by_key[key_text]
+            for seq in list(bucket.records):
+                record = bucket.records[seq]
+                if not record.state.serves(query_id):
+                    continue
+                if record.state.detach_subscriber(query_id):
+                    self._remove_record(key_text, bucket, record)
+                    removed.append(record)
+                else:
+                    detached += 1
+        return removed, detached
 
     def gc_expired(self, clocks: Mapping[str, float]) -> int:
         """Drop records whose window deadline passed; returns the drop count.
@@ -231,18 +481,12 @@ class QueryTable:
         for mode, clock in clocks.items():
             heap = self._expiry[mode]
             while heap and heap[0][0] < clock:
-                _, _, key_text, record = heapq.heappop(heap)
-                records = self._by_key.get(key_text)
-                if not records:
+                _, seq, key_text, record = heapq.heappop(heap)
+                bucket = self._by_key.get(key_text)
+                if bucket is None or bucket.records.get(seq) is not record:
                     continue
-                for index, existing in enumerate(records):
-                    if existing is record:
-                        del records[index]
-                        dropped += 1
-                        self._size -= 1
-                        if not records:
-                            del self._by_key[key_text]
-                        break
+                self._remove_record(key_text, bucket, record)
+                dropped += 1
         return dropped
 
 
@@ -279,7 +523,10 @@ class RJoinNode:
         )
         self.altt = AttributeLevelTupleTable(delta=ctx.altt_delta)
         # RIC state ---------------------------------------------------------
-        self.rates = RateTracker(window=ctx.config.ric_window)
+        self.rates = RateTracker(
+            window=ctx.config.ric_window,
+            max_keys=ctx.config.ric_max_tracked_keys,
+        )
         self.candidate_table = CandidateTable(freshness=ctx.config.ric_freshness)
         self._pending_ric: Dict[str, _PendingIndexOp] = {}
         self._ric_counter = 0
@@ -384,31 +631,28 @@ class RJoinNode:
         key_text: str,
         tup: Tuple,
     ) -> None:
-        """Trigger, rewrite and re-index the queries stored under ``key_text``."""
-        records = table.get(key_text)
-        if not records:
-            return
+        """Trigger, rewrite and re-index the queries stored under ``key_text``.
+
+        The probe fetches only the records whose discriminating selection the
+        tuple's values satisfy (plus the wildcard records); window-expired
+        records are dropped through the bucket's expiry heap exactly like the
+        old full scan dropped them (Section 5), without touching survivors.
+        """
         schema = self.ctx.catalog.get(tup.relation)
-        # The survivor list is only materialised lazily, on the first expiry:
-        # the common case (nothing aged out) must not allocate and rebuild a
-        # fresh list on every tuple arrival.
-        survivors: Optional[List[StoredQueryRecord]] = None
-        for index, record in enumerate(records):
-            window = record.state.query.window
-            # Sliding-window garbage collection: a rewritten query whose
-            # oldest consumed tuple has aged out of the window can never be
-            # satisfied again (Section 5).
-            if not record.state.is_input and window is not None:
-                if expired(window, record.state.window_state, window.clock_of(tup)):
-                    self.ctx.loads.record_query_dropped(self.address)
-                    if survivors is None:
-                        survivors = list(records[:index])
-                    continue
-            if survivors is not None:
-                survivors.append(record)
+        candidates, dropped = table.probe(
+            key_text,
+            # expired(window, state, clock_of(tup)) per window mode.
+            clocks={"time": tup.pub_time, "tuples": float(tup.sequence)},
+            value_of=lambda attribute: tup.value_of(attribute, schema),
+        )
+        if dropped:
+            self.ctx.loads.record_query_dropped(self.address, dropped)
+        if not candidates:
+            return
+        if self.ctx.record_candidates_scanned is not None:
+            self.ctx.record_candidates_scanned(len(candidates))
+        for record in candidates:
             self._try_trigger(record, tup, schema)
-        if survivors is not None:
-            table.replace(key_text, survivors)
 
     def _try_trigger(
         self, record: StoredQueryRecord, tup: Tuple, schema: RelationSchema
@@ -429,12 +673,20 @@ class RJoinNode:
         if result.dead:
             return
         assert result.query is not None
+        if self.ctx.record_queries_triggered is not None:
+            self.ctx.record_queries_triggered(1)
         new_window_state = extend(window, state.window_state, tup)
         new_state = state.derive(result.query, new_window_state)
         if result.complete:
             self._emit_answer(new_state)
         else:
             self._index_query(new_state, is_input=False)
+
+    def _share_key_of(self, state: QueryState) -> Optional[Hashable]:
+        """The canonical sharing key of ``state`` (None: do not share)."""
+        if not self.ctx.config.shared_query_state:
+            return None
+        return canonical_state_key(state)
 
     @staticmethod
     def _make_tracker(state: QueryState) -> Optional[ProjectionTracker]:
@@ -453,26 +705,34 @@ class RJoinNode:
         return None
 
     def _emit_answer(self, state: QueryState) -> None:
-        """Ship an answer directly to the node that submitted the input query.
+        """Ship an answer directly to every subscriber of the state.
 
-        The destination is resolved through the lifecycle layer at emission
-        time: after an owner failover the stored query states still carry
-        the departed owner's address, but answers must reach the surviving
-        registrant.
+        An unshared state has exactly one subscriber (the input query it was
+        derived for); a shared state fans the answer out once per subscriber,
+        so per-subscriber accounting (answers produced, delivery messages)
+        matches what N private states would have produced.  Each destination
+        is resolved through the lifecycle layer at emission time: after an
+        owner failover the stored query states still carry the departed
+        owner's address, but answers must reach the surviving registrant.
         """
         now = self.ctx.clock()
-        answer = AnswerMessage(
-            query_id=state.query_id,
-            values=state.query.answer_values(),
-            produced_at=now,
-            producer=self.address,
-        )
-        self.answers_sent += 1
-        self.ctx.loads.record_answer(self.address)
-        owner = state.owner
-        if self.ctx.resolve_owner is not None:
-            owner = self.ctx.resolve_owner(state.query_id, owner)
-        self.ctx.api.send_direct(self.address, answer, owner)
+        values = state.query.answer_values()
+        subscribers = state.subscribers
+        for subscriber in subscribers:
+            answer = AnswerMessage(
+                query_id=subscriber.query_id,
+                values=values,
+                produced_at=now,
+                producer=self.address,
+            )
+            self.answers_sent += 1
+            self.ctx.loads.record_answer(self.address)
+            owner = subscriber.owner
+            if self.ctx.resolve_owner is not None:
+                owner = self.ctx.resolve_owner(subscriber.query_id, owner)
+            self.ctx.api.send_direct(self.address, answer, owner)
+        if len(subscribers) > 1 and self.ctx.record_shared_fanout is not None:
+            self.ctx.record_shared_fanout(len(subscribers) - 1)
 
     # ------------------------------------------------------------------
     # receiving an input query
@@ -484,15 +744,23 @@ class RJoinNode:
         if self._drop_if_retracted(state):
             return
         self._adopt_ric_info(state)
+        share_key = self._share_key_of(state)
+        host = self.input_queries.find_share_host(key.text, share_key)
         record = StoredQueryRecord(
             state=state,
             key=key,
             stored_at=now,
             tracker=self._make_tracker(state),
+            share_key=share_key,
         )
-        self.input_queries.add(key.text, record)
-        # Section 4, rule 2: search the ALTT for tuples that raced past the query.
-        schema_cache: Dict[str, object] = {}
+        if host is None:
+            self.input_queries.add(key.text, record)
+        # Section 4, rule 2: search the ALTT for tuples that raced past the
+        # query.  A newcomer merging into a shared host runs this catch-up on
+        # its own (unstored) record first — the host already triggered for
+        # its subscribers when those tuples arrived — and only then attaches
+        # its subscribers, so future arrivals trigger the host exactly once.
+        schema_cache: Dict[str, RelationSchema] = {}
         for tup in self.altt.find(
             key.text, now, published_at_or_after=state.insertion_time
         ):
@@ -501,6 +769,8 @@ class RJoinNode:
                 schema = self.ctx.catalog.get(tup.relation)
                 schema_cache[tup.relation] = schema
             self._try_trigger(record, tup, schema)
+        if host is not None:
+            host.state.attach_subscribers(state.subscribers)
 
     # ------------------------------------------------------------------
     # Procedure 3: receiving a rewritten query
@@ -513,11 +783,13 @@ class RJoinNode:
             return
         self._adopt_ric_info(state)
 
+        share_key = self._share_key_of(state)
         record = StoredQueryRecord(
             state=state,
             key=key,
             stored_at=now,
             tracker=self._make_tracker(state),
+            share_key=share_key,
         )
         # A query whose window can no longer admit *future* tuples is not
         # stored, but it must still be matched against the tuples already
@@ -527,9 +799,17 @@ class RJoinNode:
         window_open_for_future = window is None or not expired(
             window, state.window_state, self._window_clock(window)
         )
+        host: Optional[StoredQueryRecord] = None
         if window_open_for_future:
-            self.rewritten_queries.add(key.text, record)
-            self.ctx.loads.record_query_stored(self.address)
+            # Multi-query sharing: an equivalent state already resident here
+            # absorbs the newcomer's subscribers instead of a second physical
+            # record.  The merge happens *after* the newcomer's catch-up
+            # below — the host already triggered for its own subscribers
+            # when the stored tuples arrived.
+            host = self.rewritten_queries.find_share_host(key.text, share_key)
+            if host is None:
+                self.rewritten_queries.add(key.text, record)
+                self.ctx.loads.record_query_stored(self.address)
 
         # Match against tuples already stored locally (published after the
         # input query was submitted but delivered here before this query).
@@ -538,6 +818,8 @@ class RJoinNode:
         for tup in self._stored_tuples_for(key):
             schema = self.ctx.catalog.get(tup.relation)
             self._try_trigger(record, tup, schema)
+        if host is not None:
+            host.state.attach_subscribers(state.subscribers)
 
     def _stored_tuples_for(self, key: IndexKey) -> List[Tuple]:
         """Locally stored tuples matching a query indexed under ``key``.
@@ -772,15 +1054,26 @@ class RJoinNode:
         Retraction drains the network first, so in ordinary runs nothing is
         in flight when a query is removed; this guard catches the exotic
         interleavings (kernel-scheduled membership ops firing mid-drain)
-        where a straggler could otherwise re-install purged state.  Every
-        hit feeds the ``orphaned_state_records`` probe.
+        where a straggler could otherwise re-install purged state.  A shared
+        state detaches its retracted subscribers and is only dropped — and
+        counted by the ``orphaned_state_records`` probe — when none remain.
         """
         is_retracted = self.ctx.is_retracted
-        if is_retracted is None or not is_retracted(state.query_id):
+        if is_retracted is None:
             return False
-        if self.ctx.record_orphaned is not None:
-            self.ctx.record_orphaned(1)
-        return True
+        retracted_ids = [
+            query_id
+            for query_id in state.subscriber_ids
+            if is_retracted(query_id)
+        ]
+        if not retracted_ids:
+            return False
+        for query_id in retracted_ids:
+            if state.detach_subscriber(query_id):
+                if self.ctx.record_orphaned is not None:
+                    self.ctx.record_orphaned(1)
+                return True
+        return False
 
     def _on_retract_query(self, msg: RetractQueryMessage) -> None:
         """Delete every piece of local state belonging to a retracted query."""
@@ -791,24 +1084,40 @@ class RJoinNode:
 
         Covers the three per-query state kinds a node can hold: the stored
         input-query record, every rewritten query derived from it, and RIC
-        round trips still pending on its behalf.  Purged rewritten queries
-        leave the storage-load accounting like window-expired ones do, so
-        ``current_storage`` keeps matching the live state.
+        round trips still pending on its behalf.  A shared record serving
+        other subscribers too is not deleted — the retracted subscriber is
+        detached (still counted as a purge) and the survivors keep the
+        record.  Physically purged rewritten queries leave the storage-load
+        accounting like window-expired ones do, so ``current_storage`` keeps
+        matching the live state.
         """
-        input_records = self.input_queries.remove_query(query_id)
-        rewritten_records = self.rewritten_queries.remove_query(query_id)
+        input_records, input_detached = self.input_queries.remove_query(query_id)
+        rewritten_records, rewritten_detached = self.rewritten_queries.remove_query(
+            query_id
+        )
         if rewritten_records:
             self.ctx.loads.record_query_dropped(
                 self.address, len(rewritten_records)
             )
-        stale_ops = [
-            request_id
-            for request_id, op in self._pending_ric.items()
-            if op.state.query_id == query_id
-        ]
+        stale_ops: List[str] = []
+        ops_detached = 0
+        for request_id, op in self._pending_ric.items():
+            if not op.state.serves(query_id):
+                continue
+            if op.state.detach_subscriber(query_id):
+                stale_ops.append(request_id)
+            else:
+                ops_detached += 1
         for request_id in stale_ops:
             del self._pending_ric[request_id]
-        purged = len(input_records) + len(rewritten_records) + len(stale_ops)
+        purged = (
+            len(input_records)
+            + len(rewritten_records)
+            + len(stale_ops)
+            + input_detached
+            + rewritten_detached
+            + ops_detached
+        )
         if purged and self.ctx.record_retracted is not None:
             self.ctx.record_retracted(purged)
         return purged

@@ -23,6 +23,13 @@ machinery of Sections 6–7 and answer delivery:
 messages: the (rewritten) query, the identity and owner of the originating
 input query, its insertion time, the window state of the tuples consumed so
 far, and the piggy-backed RIC entries.
+
+Multi-query sharing (PR 8) extends the state with *subscribers*: when two
+continuous queries reach the same rewritten form (same residual query,
+window state and insertion time — equal modulo query id), the storing node
+keeps one physical record whose state lists every interested input query as
+a :class:`Subscriber`.  The record triggers once per arriving tuple and the
+answer fans out to each subscriber's owner.
 """
 
 from __future__ import annotations
@@ -38,9 +45,24 @@ from repro.net.messages import Message
 from repro.sql.ast import Query
 
 
+@dataclass(frozen=True)
+class Subscriber:
+    """One input query interested in a shared query state's answers."""
+
+    query_id: str
+    owner: str
+
+
 @dataclass
 class QueryState:
-    """The evaluation state of a continuous query (input or rewritten)."""
+    """The evaluation state of a continuous query (input or rewritten).
+
+    ``query_id``/``owner`` identify the *primary* subscriber — the input
+    query the state was originally derived for.  ``extra_subscribers`` lists
+    any further input queries merged into this state by multi-query sharing;
+    it is empty for unshared states, which keeps the wire format backward
+    compatible.
+    """
 
     query_id: str
     owner: str
@@ -50,6 +72,7 @@ class QueryState:
     window_state: Optional[WindowState] = None
     consumed: int = 0
     ric_info: Dict[str, RicEntry] = field(default_factory=dict)
+    extra_subscribers: TupleT[Subscriber, ...] = ()
 
     def derive(
         self,
@@ -70,12 +93,69 @@ class QueryState:
             window_state=window_state,
             consumed=self.consumed + 1,
             ric_info=ric_info,
+            extra_subscribers=self.extra_subscribers,
         )
 
     @property
     def distinct(self) -> bool:
         """Whether the originating input query requested set semantics."""
         return self.query.distinct
+
+    # ------------------------------------------------------------------
+    # multi-query sharing
+    # ------------------------------------------------------------------
+    @property
+    def subscribers(self) -> TupleT[Subscriber, ...]:
+        """Every input query served by this state, primary first."""
+        return (Subscriber(self.query_id, self.owner),) + self.extra_subscribers
+
+    @property
+    def subscriber_ids(self) -> TupleT[str, ...]:
+        """The query ids of every subscriber, primary first."""
+        return tuple(sub.query_id for sub in self.subscribers)
+
+    def serves(self, query_id: str) -> bool:
+        """Whether ``query_id`` is among this state's subscribers."""
+        if self.query_id == query_id:
+            return True
+        return any(sub.query_id == query_id for sub in self.extra_subscribers)
+
+    def attach_subscribers(self, subscribers: TupleT[Subscriber, ...]) -> int:
+        """Merge more subscribers into this state; returns how many attached.
+
+        The subscriber list is a *multiset*: each merged state contributes
+        one subscription entry even when its query id is already present.
+        Two canonically equal partial states of the same query (derived from
+        distinct tuples with identical values) must each deliver a copy of
+        every future answer — deduplicating here would collapse the answer
+        bag's multiplicity.
+        """
+        self.extra_subscribers = self.extra_subscribers + tuple(subscribers)
+        return len(subscribers)
+
+    def detach_subscriber(self, query_id: str) -> bool:
+        """Remove every subscription of ``query_id``; True when none remain.
+
+        A query is retracted as a whole, so all of its multiset entries go
+        at once.  Detaching the primary subscriber promotes the first
+        remaining extra subscriber to primary (the state keeps its insertion
+        time and window state — the merge precondition guarantees they are
+        identical for every subscriber).  Detaching the last subscriber
+        leaves the state intact and returns True: the caller must drop the
+        physical record.
+        """
+        remaining = tuple(
+            sub for sub in self.extra_subscribers if sub.query_id != query_id
+        )
+        if self.query_id == query_id:
+            if not remaining:
+                return True
+            promoted = remaining[0]
+            self.query_id = promoted.query_id
+            self.owner = promoted.owner
+            remaining = remaining[1:]
+        self.extra_subscribers = remaining
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "input" if self.is_input else f"rewritten(consumed={self.consumed})"

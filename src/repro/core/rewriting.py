@@ -21,13 +21,16 @@ of the original query.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Tuple as TupleT, Union
 
 from repro.data.schema import AttributeRef, RelationSchema
 from repro.data.tuples import Tuple
 from repro.errors import RewriteError
 from repro.sql.ast import Constant, JoinPredicate, Query, SelectionPredicate
 from repro.sql.predicates import is_contradictory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.protocol import QueryState
 
 
 @dataclass(frozen=True)
@@ -58,6 +61,65 @@ def tuple_satisfies_selections(
         if values[sp.attribute.attribute] != sp.value:
             return False
     return True
+
+
+def discriminating_selection(
+    query: Query, relation: str, prefer_other_than: Optional[str] = None
+) -> Optional[SelectionPredicate]:
+    """The explicit selection on ``relation`` a trigger check tests first.
+
+    A stored query can only be rewritten by a tuple of ``relation`` whose
+    value for the selected attribute equals the selection's constant (step 1
+    of :func:`rewrite_query` returns :data:`DEAD` otherwise), so this
+    predicate is a safe *discriminator* for the query index: the index files
+    the record under the selection's ``(attribute, value)`` and an arriving
+    tuple only fetches records whose discriminator matches (or records with
+    no discriminator at all).
+
+    ``prefer_other_than`` names an attribute the caller already knows to be
+    bound (e.g. the value-level index key's attribute, which every resident
+    record trivially matches) — a selection on any *other* attribute prunes
+    more, so it wins when available.
+    """
+    first: Optional[SelectionPredicate] = None
+    for sp in query.selection_predicates:
+        if sp.attribute.relation != relation:
+            continue
+        if first is None:
+            first = sp
+        if sp.attribute.attribute != prefer_other_than:
+            return sp
+    return first
+
+
+def canonical_state_key(state: "QueryState") -> Optional[Hashable]:
+    """Canonical form of a rewritten-query state, equal modulo query id.
+
+    Two states with the same canonical key represent exactly the same
+    residual evaluation work: the same rewritten query (shape, bindings,
+    window), the same window state over consumed tuples, the same insertion
+    time and rewrite depth.  Multi-query sharing stores one physical record
+    per canonical key and fans answers out to every subscriber.
+
+    Returns None when the state must not be shared: DISTINCT queries carry a
+    mutating per-record projection tracker whose merge semantics are not
+    order-independent, and a query with unhashable components cannot be
+    keyed at all.
+    """
+    if state.distinct:
+        return None
+    try:
+        key: TupleT[Hashable, ...] = (
+            state.query,
+            state.insertion_time,
+            state.window_state,
+            state.is_input,
+            state.consumed,
+        )
+        hash(key)
+    except TypeError:
+        return None
+    return key
 
 
 def rewrite_query(query: Query, tup: Tuple, schema: RelationSchema) -> RewriteResult:

@@ -20,7 +20,7 @@ state support this:
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Mapping, Optional
 
@@ -42,17 +42,41 @@ class RicEntry:
 
 
 class RateTracker:
-    """Per-node arrival counting for the keys the node is responsible for."""
+    """Per-node arrival counting for the keys the node is responsible for.
 
-    def __init__(self, window: Optional[float] = None) -> None:
+    ``max_keys`` bounds the number of distinct keys the tracker holds state
+    for: recording an arrival for a fresh key beyond the bound evicts the
+    least recently *recorded* key first (deterministic LRU).  RIC entries
+    are advisory — an evicted key simply reports a rate (and total) of zero
+    until tuples arrive for it again — so the bound trades a little rate
+    fidelity under million-distinct-key floods for a hard memory ceiling.
+    ``None`` keeps state for every key ever seen.
+    """
+
+    def __init__(
+        self, window: Optional[float] = None, max_keys: Optional[int] = None
+    ) -> None:
         """``window`` bounds the observation horizon; ``None`` counts forever."""
         self.window = window
+        self.max_keys = max_keys
+        self.evicted_keys = 0
         self._arrivals: Dict[str, Deque[float]] = {}
-        self._totals: Dict[str, int] = {}
+        # Insertion-ordered: the first key is always the least recently
+        # recorded one (record() re-appends the key it touches).
+        self._totals: OrderedDict[str, int] = OrderedDict()
 
     def record(self, key_text: str, now: float) -> None:
         """Record the arrival of a tuple for ``key_text`` at time ``now``."""
-        self._totals[key_text] = self._totals.get(key_text, 0) + 1
+        totals = self._totals
+        if key_text in totals:
+            totals[key_text] += 1
+            totals.move_to_end(key_text)
+        else:
+            if self.max_keys is not None and len(totals) >= self.max_keys:
+                evicted, _ = totals.popitem(last=False)
+                self._arrivals.pop(evicted, None)
+                self.evicted_keys += 1
+            totals[key_text] = 1
         if self.window is None:
             return
         arrivals = self._arrivals.setdefault(key_text, deque())
@@ -70,7 +94,7 @@ class RateTracker:
         return float(len(arrivals))
 
     def total(self, key_text: str) -> int:
-        """Lifetime arrival count for ``key_text``."""
+        """Lifetime arrival count for ``key_text`` (zero once evicted)."""
         return self._totals.get(key_text, 0)
 
     def _prune(self, arrivals: Deque[float], now: float) -> None:
@@ -80,8 +104,12 @@ class RateTracker:
             arrivals.popleft()
 
     def tracked_keys(self) -> List[str]:
-        """Keys for which at least one arrival has been observed."""
+        """Keys for which arrival state is currently held."""
         return list(self._totals.keys())
+
+    def __len__(self) -> int:
+        """Number of keys currently tracked; never exceeds ``max_keys``."""
+        return len(self._totals)
 
 
 class CandidateTable:

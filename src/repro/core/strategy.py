@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import List, Mapping, Sequence
+from functools import lru_cache
+from typing import List, Mapping, Sequence, Tuple
 
 from repro.core.keys import IndexKey, attribute_key, value_key
 from repro.errors import ConfigurationError
@@ -40,6 +41,11 @@ from repro.sql.predicates import all_selections
 # ---------------------------------------------------------------------------
 # candidate enumeration
 # ---------------------------------------------------------------------------
+# Candidate enumeration is memoized by query value: the AST is a frozen
+# dataclass, so structurally identical queries — the million-query flood
+# shape, and the identical rewritten states that multi-query sharing
+# canonicalizes — hash to the same entry and enumerate once.  Queries whose
+# selection constants are unhashable fall back to direct enumeration.
 def input_query_candidates(query: Query) -> List[IndexKey]:
     """Attribute-level candidates of an input query.
 
@@ -48,6 +54,42 @@ def input_query_candidates(query: Query) -> List[IndexKey]:
     the select-list attributes are used instead so that the query still meets
     every tuple of its relation.
     """
+    try:
+        return list(_input_candidates_cached(query))
+    except TypeError:
+        return list(_enumerate_input_candidates(query))
+
+
+def rewritten_query_candidates(
+    query: Query, allow_attribute_level: bool = True
+) -> List[IndexKey]:
+    """Candidates of a rewritten query: families (b), (c) and optionally (a).
+
+    Value-level candidates come first (explicit selections, then implied
+    ones), followed by attribute-level join pairs when
+    ``allow_attribute_level`` is set.  The order defines the behaviour of
+    :class:`FirstCandidateStrategy` and the deterministic tie-breaking of the
+    rate-based strategies.
+    """
+    try:
+        return list(_rewritten_candidates_cached(query, allow_attribute_level))
+    except TypeError:
+        return list(_enumerate_rewritten_candidates(query, allow_attribute_level))
+
+
+@lru_cache(maxsize=8192)
+def _input_candidates_cached(query: Query) -> Tuple[IndexKey, ...]:
+    return _enumerate_input_candidates(query)
+
+
+@lru_cache(maxsize=8192)
+def _rewritten_candidates_cached(
+    query: Query, allow_attribute_level: bool
+) -> Tuple[IndexKey, ...]:
+    return _enumerate_rewritten_candidates(query, allow_attribute_level)
+
+
+def _enumerate_input_candidates(query: Query) -> Tuple[IndexKey, ...]:
     candidates: List[IndexKey] = []
     seen = set()
 
@@ -66,20 +108,12 @@ def input_query_candidates(query: Query) -> List[IndexKey]:
         for item in query.select_items:
             if hasattr(item, "relation"):
                 _add(item.relation, item.attribute)  # type: ignore[union-attr]
-    return candidates
+    return tuple(candidates)
 
 
-def rewritten_query_candidates(
-    query: Query, allow_attribute_level: bool = True
-) -> List[IndexKey]:
-    """Candidates of a rewritten query: families (b), (c) and optionally (a).
-
-    Value-level candidates come first (explicit selections, then implied
-    ones), followed by attribute-level join pairs when
-    ``allow_attribute_level`` is set.  The order defines the behaviour of
-    :class:`FirstCandidateStrategy` and the deterministic tie-breaking of the
-    rate-based strategies.
-    """
+def _enumerate_rewritten_candidates(
+    query: Query, allow_attribute_level: bool
+) -> Tuple[IndexKey, ...]:
     candidates: List[IndexKey] = []
     seen = set()
 
@@ -102,7 +136,7 @@ def rewritten_query_candidates(
         for ref in query.attribute_refs():
             if ref.relation in query.relations:
                 _add(attribute_key(ref.relation, ref.attribute))
-    return candidates
+    return tuple(candidates)
 
 
 # ---------------------------------------------------------------------------

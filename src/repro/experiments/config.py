@@ -164,6 +164,10 @@ class ExperimentConfig:
     #: successor so owner departures fail over instead of dropping answers
     #: (the axis of the ``owner-failover`` scenario).
     owner_failover: bool = True
+    #: Whether canonically equal rewritten-query states collapse into one
+    #: shared record with a subscriber list (the million-query matching
+    #: optimisation) — disable to measure the per-query-private baseline.
+    shared_query_state: bool = True
     #: Node-local tuple-store backend (``memory`` / ``sqlite`` /
     #: ``append-log``) — the axis of the ``store-backends`` scenario.
     store_backend: str = DEFAULT_BACKEND

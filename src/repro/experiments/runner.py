@@ -142,6 +142,7 @@ def build_engine(config: ExperimentConfig) -> RJoinEngine:
         append_log_compact_fraction=config.append_log_compact_fraction,
         seed=config.seed,
         owner_failover=config.owner_failover,
+        shared_query_state=config.shared_query_state,
         id_movement=config.id_movement,
         hop_delay=config.hop_delay,
         delay_jitter=config.delay_jitter,

@@ -328,6 +328,22 @@ register(
         ),
         default_variants=_sweep("num_queries", (200, 400, 800)),
         paper_base=ExperimentConfig.paper_scale(name="query-flood"),
+        # Million-query matching (PR 8): the full-scale sweep pushes the
+        # resident population to 10⁵–10⁶ queries — feasible only because the
+        # predicate-aware query index keeps per-arrival matching sublinear
+        # and shared rewritten-query state collapses duplicates.  The
+        # ``q100000-private`` variant re-runs the 10⁵ point with sharing
+        # disabled so the two optimisations can be separated in the report.
+        paper_variants=_sweep("num_queries", (100_000, 300_000, 1_000_000))
+        + (
+            Variant(
+                label="q100000-private",
+                overrides={
+                    "num_queries": 100_000,
+                    "shared_query_state": False,
+                },
+            ),
+        ),
     )
 )
 
@@ -481,6 +497,25 @@ register(
                 overrides={
                     "query_churn": QueryChurnSpec(remove_every=50),
                     "churn": ChurnSpec(join_every=100, leave_every=150),
+                },
+            ),
+            # Million-query churn (PR 8): retraction and re-submission
+            # against a 10⁵/10⁶-strong resident population — the removal
+            # walk and the re-submitted queries' indexing both ride the
+            # predicate-aware query index, so the churn cost must stay flat
+            # relative to the 2·10⁴ baseline above.
+            Variant(
+                label="churn-q100000",
+                overrides={
+                    "num_queries": 100_000,
+                    "query_churn": QueryChurnSpec(remove_every=50),
+                },
+            ),
+            Variant(
+                label="churn-q1000000",
+                overrides={
+                    "num_queries": 1_000_000,
+                    "query_churn": QueryChurnSpec(remove_every=50),
                 },
             ),
         ),

@@ -62,6 +62,10 @@ class ChurnStats:
         self._failover_reregistrations = 0
         self._replica_repairs = 0
         self._answers_rerouted = 0
+        # Matching (predicate-aware query index + shared state) ------------
+        self._queries_triggered = 0
+        self._trigger_candidates_scanned = 0
+        self._shared_state_fanout = 0
 
     def record(self, event: MembershipEvent) -> None:
         """Account one membership event."""
@@ -99,6 +103,21 @@ class ChurnStats:
     def record_answers_rerouted(self, count: int = 1) -> None:
         """In-flight answers were re-routed to a failed-over owner."""
         self._answers_rerouted += count
+
+    # ------------------------------------------------------------------
+    # tuple-arrival matching accounting
+    # ------------------------------------------------------------------
+    def record_queries_triggered(self, count: int = 1) -> None:
+        """Stored queries whose rewrite actually fired on a tuple arrival."""
+        self._queries_triggered += count
+
+    def record_trigger_candidates_scanned(self, count: int) -> None:
+        """Stored-query candidates fetched by tuple-arrival index probes."""
+        self._trigger_candidates_scanned += count
+
+    def record_shared_state_fanout(self, count: int) -> None:
+        """Extra subscribers served by shared-state answer emissions."""
+        self._shared_state_fanout += count
 
     # ------------------------------------------------------------------
     # aggregates
@@ -183,6 +202,26 @@ class ChurnStats:
         """In-flight answers re-routed to a failed-over owner; O(1)."""
         return self._answers_rerouted
 
+    @property
+    def queries_triggered(self) -> int:
+        """Stored queries whose rewrite fired on a tuple arrival; O(1)."""
+        return self._queries_triggered
+
+    @property
+    def trigger_candidates_scanned(self) -> int:
+        """Candidates fetched by tuple-arrival index probes; O(1).
+
+        The index-selectivity probe: with the predicate-aware query index
+        this stays close to :attr:`queries_triggered`; a full-scan matcher
+        would instead scan every resident record per arrival.
+        """
+        return self._trigger_candidates_scanned
+
+    @property
+    def shared_state_fanout(self) -> int:
+        """Extra subscribers served by shared-state answers; O(1)."""
+        return self._shared_state_fanout
+
     def reset(self) -> None:
         """Clear every counter and the event log."""
         self.events.clear()
@@ -198,6 +237,9 @@ class ChurnStats:
         self._failover_reregistrations = 0
         self._replica_repairs = 0
         self._answers_rerouted = 0
+        self._queries_triggered = 0
+        self._trigger_candidates_scanned = 0
+        self._shared_state_fanout = 0
 
 
 @dataclass

@@ -22,17 +22,20 @@ from repro.experiments.config import ChurnSpec, ExperimentConfig, QueryChurnSpec
 from repro.experiments.runner import ExperimentResult
 from repro.sql.ast import WindowSpec
 
-#: v5: the metrics-summary key set is now *declared* (:data:`SUMMARY_SCHEMA`)
+#: v6: million-query matching added the trigger-path counters
+#: (``queries_triggered``, ``trigger_candidates_scanned``,
+#: ``shared_state_fanout``) to the summary.
+#: Older result files still *load* — ``result_from_dict``, ``load_cells``
+#: and ``report --diff`` accept any schema version.
+#: (v5: the metrics-summary key set became *declared* (:data:`SUMMARY_SCHEMA`)
 #: and machine-checked against ``RJoinEngine.metrics_summary`` by the static
 #: analysis suite (``python -m repro.analysis check``, rule
 #: ``metrics-registry``) — adding or removing a summary counter without
-#: updating the declaration fails lint instead of shipping silent drift.
-#: Older result files still *load* — ``result_from_dict``, ``load_cells``
-#: and ``report --diff`` accept any schema version.
-#: (v4: query lifecycle added ``ExperimentConfig.query_churn`` /
+#: updating the declaration fails lint instead of shipping silent drift;
+#: v4: query lifecycle added ``ExperimentConfig.query_churn`` /
 #: ``ExperimentConfig.owner_failover`` plus the lifecycle counters;
 #: v3: ``ExperimentConfig.store_backend`` joined the config schema.)
-RESULT_SCHEMA_VERSION = 5
+RESULT_SCHEMA_VERSION = 6
 
 #: The declared key set of ``RJoinEngine.metrics_summary`` — the flat
 #: per-run metric dictionary embedded in every result cell (``summary`` /
@@ -73,6 +76,9 @@ SUMMARY_SCHEMA: Tuple[str, ...] = (
     "failover_reregistrations",
     "replica_repairs",
     "answers_rerouted",
+    "queries_triggered",
+    "trigger_candidates_scanned",
+    "shared_state_fanout",
 )
 
 

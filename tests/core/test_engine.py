@@ -235,6 +235,16 @@ class TestBatchSequentialEquivalence:
         "messages_per_node",
         "ric_messages_per_node",
     )
+    #: The trigger-path observables may differ for *every* strategy: a
+    #: rewritten query still in flight when a later batch tuple lands is
+    #: matched by the stored-tuple catch-up on its arrival instead of by the
+    #: tuple-arrival probe, moving work between the counted probe path and
+    #: the uncounted catch-up.  Answers and load metrics still match exactly.
+    MATCHING_KEYS = (
+        "queries_triggered",
+        "trigger_candidates_scanned",
+        "shared_state_fanout",
+    )
 
     @pytest.mark.parametrize("strategy", ["rjoin", "random", "worst", "first"])
     def test_batch_matches_sequential(self, small_catalog, strategy):
@@ -256,7 +266,9 @@ class TestBatchSequentialEquivalence:
         summary_seq = sequential.metrics_summary()
         summary_batch = batched.metrics_summary()
         assert set(summary_seq) == set(summary_batch)
-        exempt = set(self.TRAFFIC_KEYS) if strategy == "rjoin" else set()
+        exempt = set(self.MATCHING_KEYS)
+        if strategy == "rjoin":
+            exempt |= set(self.TRAFFIC_KEYS)
         for key in summary_seq:
             if key in exempt:
                 continue
@@ -279,7 +291,12 @@ class TestBatchSequentialEquivalence:
         for relation, values in self.ROWS:
             sequential.publish(relation, values)
         batched.publish_batch(self.ROWS)
-        assert sequential.metrics_summary() == batched.metrics_summary()
+        summary_seq = sequential.metrics_summary()
+        summary_batch = batched.metrics_summary()
+        for key in self.MATCHING_KEYS:
+            summary_seq.pop(key)
+            summary_batch.pop(key)
+        assert summary_seq == summary_batch
 
 
 class TestPublishBatch:

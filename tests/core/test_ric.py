@@ -27,6 +27,45 @@ class TestRateTracker:
         tracker.record("b", 0.0)
         assert sorted(tracker.tracked_keys()) == ["a", "b"]
 
+    def test_max_keys_bounds_memory(self):
+        """A million-distinct-key flood never holds more than ``max_keys``."""
+        tracker = RateTracker(window=10.0, max_keys=8)
+        for i in range(1000):
+            tracker.record(f"k{i}", now=float(i))
+            assert len(tracker) <= 8
+        assert len(tracker) == 8
+        assert tracker.evicted_keys == 992
+        # Only the most recently recorded keys survive, in LRU order.
+        assert tracker.tracked_keys() == [f"k{i}" for i in range(992, 1000)]
+
+    def test_eviction_is_least_recently_recorded(self):
+        tracker = RateTracker(max_keys=2)
+        tracker.record("a", 0.0)
+        tracker.record("b", 1.0)
+        tracker.record("a", 2.0)   # refreshes "a": "b" is now the LRU key
+        tracker.record("c", 3.0)   # evicts "b"
+        assert sorted(tracker.tracked_keys()) == ["a", "c"]
+        assert tracker.total("a") == 2
+        assert tracker.evicted_keys == 1
+
+    def test_evicted_key_reports_zero_then_recovers(self):
+        tracker = RateTracker(window=100.0, max_keys=1)
+        tracker.record("a", 0.0)
+        tracker.record("b", 1.0)   # evicts "a" with its arrival history
+        assert tracker.rate("a", now=1.0) == 0.0
+        assert tracker.total("a") == 0
+        # Arrivals for an evicted key start a fresh count.
+        tracker.record("a", 2.0)
+        assert tracker.total("a") == 1
+        assert tracker.rate("a", now=2.0) == 1.0
+
+    def test_unbounded_by_default(self):
+        tracker = RateTracker()
+        for i in range(100):
+            tracker.record(f"k{i}", 0.0)
+        assert len(tracker) == 100
+        assert tracker.evicted_keys == 0
+
 
 class TestRicEntry:
     def test_freshness(self):
