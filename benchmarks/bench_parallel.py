@@ -22,6 +22,14 @@ Usage::
 ``--smoke`` shrinks every cell to a correctness sweep (used by
 ``run_all.py`` / the ``bench_smoke`` marker); the recorded speedups are only
 meaningful in the default mode, where each cell carries real work.
+
+The report also records a **sim vs asyncio** head-to-head on a query-flood
+style workload (many standing queries, one tuple stream) under
+``query_flood_runtime_comparison``: wall-clock seconds per runtime plus the
+throughput ratio.  Deliberately *not* keyed ``*_per_second``, so the CI
+regression gate never compares it — on a single-core host the asyncio
+runtime timeshares one event loop and the ratio hovers at or below 1x; the
+number only becomes a speedup claim on real multi-core hardware.
 """
 
 from __future__ import annotations
@@ -31,9 +39,14 @@ import json
 import multiprocessing
 import tempfile
 from pathlib import Path
+from time import perf_counter
 from typing import Dict, List, Optional
 
+from repro.core.config import RJoinConfig
+from repro.core.engine import RJoinEngine
 from repro.experiments.parallel import run_grid
+from repro.net.runtime import DEFAULT_TRANSPORT, TRANSPORT_NAMES
+from repro.workload.generator import WorkloadGenerator, WorkloadSpec
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_parallel.json"
 DEFAULT_SCENARIO = "skew-sweep"
@@ -53,14 +66,75 @@ SMOKE_OVERRIDES = {
 }
 
 
+def run_runtime_comparison(
+    num_nodes: int = 24,
+    num_queries: int = 40,
+    num_tuples: int = 160,
+    smoke: bool = False,
+) -> Dict[str, object]:
+    """Time the identical query-flood workload on every registered runtime.
+
+    Both engines see the same queries and the same tuple stream; the bag
+    sizes must agree (the cross-runtime equality the test suite proves in
+    full), and only the publication phase is timed.  Sizing note: answers
+    grow combinatorially with the workload (40 queries × 160 tuples already
+    produce ~190k answers, a ~5 s timed window per runtime) — scale with
+    care.
+    """
+    if smoke:
+        num_nodes, num_queries, num_tuples = 8, 6, 20
+    spec = WorkloadSpec(
+        num_relations=4,
+        attributes_per_relation=3,
+        value_domain=4,
+        join_arity=3,
+        seed=901,
+    )
+    generator = WorkloadGenerator(spec)
+    queries = generator.generate_queries(num_queries)
+    tuples = generator.generate_tuples(num_tuples)
+    seconds: Dict[str, float] = {}
+    answers: Dict[str, int] = {}
+    for runtime in TRANSPORT_NAMES:
+        engine = RJoinEngine(
+            RJoinConfig(num_nodes=num_nodes, seed=90, runtime=runtime)
+        )
+        engine.register_catalog(generator.catalog)
+        handles = [engine.submit(query) for query in queries]
+        start = perf_counter()
+        for generated in tuples:
+            engine.publish(generated.relation, generated.values)
+        seconds[runtime] = perf_counter() - start
+        answers[runtime] = sum(handle.count for handle in handles)
+        engine.close()
+    if len(set(answers.values())) != 1:
+        raise AssertionError(
+            f"runtimes disagreed on the answer-bag size: {answers}"
+        )
+    asyncio_seconds = seconds["asyncio"]
+    return {
+        "num_nodes": num_nodes,
+        "num_queries": num_queries,
+        "num_tuples": num_tuples,
+        "answers": answers["sim"],
+        "sim_seconds": seconds["sim"],
+        "asyncio_seconds": asyncio_seconds,
+        "asyncio_over_sim_throughput": (
+            seconds["sim"] / asyncio_seconds if asyncio_seconds > 0 else 0.0
+        ),
+    }
+
+
 def run_bench(
     scenario: str = DEFAULT_SCENARIO,
     workers: int = DEFAULT_WORKERS,
     smoke: bool = False,
+    runtime: str = DEFAULT_TRANSPORT,
 ) -> Dict[str, object]:
     """Time the serial and the parallel sweep of one scenario grid."""
     seeds: List[int] = list(SMOKE_SEEDS if smoke else DEFAULT_SEEDS)
     overrides = dict(SMOKE_OVERRIDES if smoke else DEFAULT_OVERRIDES)
+    overrides["runtime"] = runtime
     with tempfile.TemporaryDirectory(prefix="bench_parallel_") as tmp:
         serial = run_grid(
             scenario,
@@ -107,6 +181,7 @@ def run_bench(
         "scenario": scenario,
         "cells": len(serial.outcomes),
         "workers": workers,
+        "runtime": runtime,
         "cpu_count": cpu_count,
         "single_core_host": cpu_count == 1,
         "smoke": smoke,
@@ -115,6 +190,7 @@ def run_bench(
         "resume_seconds": resumed.elapsed_seconds,
         "cold_speedup": _speedup(parallel.elapsed_seconds),
         "resume_speedup": _speedup(resumed.elapsed_seconds),
+        "query_flood_runtime_comparison": run_runtime_comparison(smoke=smoke),
     }
 
 
@@ -126,13 +202,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
     parser.add_argument("--scenario", default=DEFAULT_SCENARIO)
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--runtime",
+        choices=TRANSPORT_NAMES,
+        default=DEFAULT_TRANSPORT,
+        help="node runtime the grid cells run on (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     report = run_bench(
-        scenario=args.scenario, workers=args.workers, smoke=args.smoke
+        scenario=args.scenario,
+        workers=args.workers,
+        smoke=args.smoke,
+        runtime=args.runtime,
     )
     print(
-        f"{report['scenario']}: {report['cells']} cells — "
+        f"{report['scenario']} [{report['runtime']}]: {report['cells']} cells — "
         f"serial {report['serial_seconds']:.2f}s, "
         f"parallel({report['workers']}) {report['parallel_seconds']:.2f}s "
         f"({report['cold_speedup']:.2f}x), "

@@ -58,6 +58,22 @@ def main() -> None:
                 "total_qpl", "total_storage", "participating_nodes"):
         print(f"  {key:>22}: {summary[key]:g}")
 
+    # 7. The same program runs on the concurrent asyncio runtime, where each
+    #    node is an actor task — answer bags are identical, only the event
+    #    interleaving differs (see README "Runtimes & transports").
+    with RJoinEngine(RJoinConfig(num_nodes=32, seed=7, runtime="asyncio")) as concurrent:
+        concurrent.register_relation("orders", ["order_id", "customer", "item"])
+        concurrent.register_relation("payments", ["order_id", "amount"])
+        concurrent.register_relation("shipments", ["order_id", "carrier"])
+        concurrent_handle = concurrent.submit(str(handle.query))
+        concurrent.publish("orders", (1001, "ada", "keyboard"))
+        concurrent.publish("payments", (1001, 59))
+        concurrent.publish("shipments", (1001, "ACME-express"))
+        same = sorted(concurrent_handle.values()) == sorted(
+            values for values in handle.values() if values[0] == "ada"
+        )
+        print(f"\nasyncio runtime delivered the same order-1001 answers: {same}")
+
 
 if __name__ == "__main__":
     main()

@@ -19,18 +19,34 @@ Typical usage::
     engine.publish("S", (10, 99))
     print(handle.values())           # [(1, 99)]
 
-See ``examples/`` for richer scenarios and ``benchmarks/`` for the harness
-that regenerates every figure of the paper.
+The engine runs on a selectable node runtime (``RJoinConfig(runtime=...)``):
+the deterministic discrete-event kernel (``sim``) or the concurrent
+actor-per-node ``asyncio`` runtime; see :mod:`repro.net.runtime`.
+
+The experiment harness is importable from the package root too — those
+names resolve lazily (via :pep:`562`) so ``import repro`` stays light::
+
+    from repro import ExperimentConfig, run_experiment, run_grid, get_scenario
+
+See ``examples/`` for richer scenarios, ``benchmarks/`` for the harness that
+regenerates every figure of the paper, and ``python -m repro`` for the
+command-line entry points.
 """
+
+import warnings
+from typing import Any
 
 from repro.core.answers import Answer, QueryHandle
 from repro.core.config import RJoinConfig
 from repro.core.engine import RJoinEngine
 from repro.core.reference import ReferenceEngine
 from repro.core.strategy import available_strategies, make_strategy
+from repro.data.backends import BACKEND_NAMES, make_store
 from repro.data.schema import AttributeRef, Catalog, RelationSchema
 from repro.data.tuples import Tuple
 from repro.errors import ReproError
+from repro.net.runtime import TRANSPORT_NAMES, Transport, make_transport
+from repro.net.simulator import SimulationKernel
 from repro.sql.ast import (
     Constant,
     JoinPredicate,
@@ -41,15 +57,19 @@ from repro.sql.ast import (
 from repro.sql.parser import parse_query
 from repro.workload.generator import WorkloadGenerator, WorkloadSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Answer",
     "AttributeRef",
+    "BACKEND_NAMES",
     "Catalog",
+    "ChurnSpec",
     "Constant",
+    "ExperimentConfig",
     "JoinPredicate",
     "Query",
+    "QueryChurnSpec",
     "QueryHandle",
     "ReferenceEngine",
     "RelationSchema",
@@ -57,12 +77,68 @@ __all__ = [
     "RJoinConfig",
     "RJoinEngine",
     "SelectionPredicate",
+    "SimulationKernel",
+    "TRANSPORT_NAMES",
+    "Transport",
     "Tuple",
     "WindowSpec",
     "WorkloadGenerator",
     "WorkloadSpec",
     "available_strategies",
+    "get_scenario",
+    "make_store",
     "make_strategy",
+    "make_transport",
     "parse_query",
+    "run_experiment",
+    "run_grid",
     "__version__",
 ]
+
+#: Experiment-harness entry points, resolved lazily on first attribute access
+#: so that ``import repro`` does not pay for the grid runner (multiprocessing,
+#: scenario registry, figure machinery).
+_LAZY_EXPORTS = {
+    "ChurnSpec": ("repro.experiments.config", "ChurnSpec"),
+    "ExperimentConfig": ("repro.experiments.config", "ExperimentConfig"),
+    "QueryChurnSpec": ("repro.experiments.config", "QueryChurnSpec"),
+    "get_scenario": ("repro.experiments.scenarios", "get_scenario"),
+    "run_experiment": ("repro.experiments.runner", "run_experiment"),
+    "run_grid": ("repro.experiments.parallel", "run_grid"),
+}
+
+#: Names that moved during the transport extraction.  They keep resolving
+#: here (with a :class:`DeprecationWarning`) so downstream imports break
+#: loudly never, softly once.
+_DEPRECATED_ALIASES = {
+    "EventHandle": ("repro.net.runtime", "EventHandle"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    """:pep:`562` hook: lazy experiment exports + deprecation shims."""
+    import importlib
+
+    if name in _LAZY_EXPORTS:
+        module_name, attribute = _LAZY_EXPORTS[name]
+        value = getattr(importlib.import_module(module_name), attribute)
+        globals()[name] = value  # cache: subsequent lookups skip this hook
+        return value
+    if name in _DEPRECATED_ALIASES:
+        module_name, attribute = _DEPRECATED_ALIASES[name]
+        warnings.warn(
+            f"repro.{name} is deprecated; import {attribute} from "
+            f"{module_name} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module_name), attribute)
+    # PEP 562 requires AttributeError here: hasattr()/getattr() probing
+    # depends on it, so the exception-discipline rule does not apply.
+    raise AttributeError(  # repro: allow[exception-discipline]
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(__all__))

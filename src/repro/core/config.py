@@ -7,6 +7,7 @@ from typing import Optional, Union
 
 from repro.data.backends import BACKEND_NAMES, DEFAULT_BACKEND, StoreTuning
 from repro.errors import ConfigurationError
+from repro.net.runtime import DEFAULT_TRANSPORT, TRANSPORT_NAMES
 from repro.sql.ast import WindowSpec
 
 #: Sentinel meaning "derive the ALTT retention Δ from the network's bounded delay".
@@ -24,6 +25,12 @@ class RJoinConfig:
     ----------
     num_nodes:
         Number of DHT nodes in the simulated Chord network.
+    runtime:
+        Node runtime the engine executes on: ``sim`` (the deterministic
+        discrete-event kernel — the test/oracle harness) or ``asyncio``
+        (each node is a concurrent actor task with a bounded inbox; answer
+        bags are identical, delivery order and traffic placement are not);
+        see :mod:`repro.net.runtime`.
     bits:
         Width of the identifier space in bits.
     hop_delay:
@@ -106,6 +113,7 @@ class RJoinConfig:
     """
 
     num_nodes: int = 64
+    runtime: str = DEFAULT_TRANSPORT
     bits: int = 48
     hop_delay: float = 1.0
     delay_jitter: float = 0.0
@@ -132,6 +140,11 @@ class RJoinConfig:
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
             raise ConfigurationError("num_nodes must be positive")
+        if self.runtime not in TRANSPORT_NAMES:
+            known = ", ".join(TRANSPORT_NAMES)
+            raise ConfigurationError(
+                f"unknown runtime {self.runtime!r}; known runtimes: {known}"
+            )
         if self.bits <= 0 or self.bits > 160:
             raise ConfigurationError("bits must be in (0, 160]")
         if self.hop_delay < 0 or self.delay_jitter < 0:

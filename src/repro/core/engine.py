@@ -1,7 +1,9 @@
 """The public RJoin engine facade.
 
 :class:`RJoinEngine` assembles the whole system: the Chord ring, the
-discrete-event kernel, the messaging API with traffic accounting, one
+runtime transport (the deterministic ``sim`` kernel or the concurrent
+``asyncio`` actor runtime, selected by ``RJoinConfig.runtime``), the
+messaging API with traffic accounting, one
 :class:`~repro.core.node.RJoinNode` per DHT node, the indexing strategy, and
 the answer registry.  Library users interact with three operations:
 
@@ -47,7 +49,8 @@ from repro.errors import (
     UnknownRelationError,
 )
 from repro.metrics.collectors import ChurnStats, LoadTracker
-from repro.net.simulator import EventHandle, SimulationKernel
+from repro.net.runtime import EventHandle, make_transport
+from repro.net.simulator import SimulationKernel
 from repro.net.stats import TrafficStats
 from repro.sql.ast import Query, WindowSpec
 from repro.sql.parser import parse_query
@@ -76,7 +79,7 @@ class RJoinEngine:
 
         # Substrates -------------------------------------------------------
         self.space = IdentifierSpace(self.config.bits)
-        self.kernel = SimulationKernel()
+        self.transport = make_transport(self.config.runtime)
         self.traffic = TrafficStats()
         self.loads = LoadTracker()
         self.ring = ChordRing.create_network(
@@ -84,7 +87,7 @@ class RJoinEngine:
         )
         self.api = DHTMessagingService(
             ring=self.ring,
-            kernel=self.kernel,
+            transport=self.transport,
             traffic=self.traffic,
             hop_delay=self.config.hop_delay,
             delay_jitter=self.config.delay_jitter,
@@ -102,7 +105,7 @@ class RJoinEngine:
             loads=self.loads,
             catalog=self.catalog,
             rng=random.Random(self.config.seed + 2),
-            clock=lambda: self.kernel.now,
+            clock=lambda: self.transport.now,
             sequence_clock=lambda: self._sequence,
             rate_oracle=self._oracle_rate,
             collect_answer=self._collect_answer,
@@ -147,14 +150,14 @@ class RJoinEngine:
             nodes=self.nodes,
             loads=self.loads,
             churn=self.churn,
-            clock=lambda: self.kernel.now,
+            clock=lambda: self.transport.now,
         )
         self._churn_rng = random.Random(self.config.seed + 3)
         self._next_node_index = len(self.ring)
         #: Stale one-hop attempts recorded by nodes that have since departed;
         #: keeps the engine-wide counter monotone under churn.
         self._departed_stale_attempts = 0
-        #: Join/leave operations requested while the kernel was mid-drain;
+        #: Join/leave operations requested while the network was mid-drain;
         #: applied at the next quiescent point (see :meth:`run`).
         self._pending_membership: List[tuple] = []
 
@@ -178,7 +181,7 @@ class RJoinEngine:
             nodes=self.nodes,
             handles=self._handles,
             churn=self.churn,
-            clock=lambda: self.kernel.now,
+            clock=lambda: self.transport.now,
             enabled=self.config.owner_failover,
         )
         # Handle registrations re-home through the lifecycle layer's notion
@@ -237,7 +240,7 @@ class RJoinEngine:
 
         self._query_counter += 1
         query_id = f"{owner}#{self._query_counter}"
-        insertion_time = self.kernel.now
+        insertion_time = self.transport.now
         handle = QueryHandle(
             query_id=query_id,
             query=parsed,
@@ -284,7 +287,7 @@ class RJoinEngine:
             raise EngineError(
                 f"unknown (or already removed) query id {query_id!r}"
             )
-        if self.kernel.is_running:
+        if self.transport.is_draining:
             raise EngineError(
                 "remove_query is a synchronous engine operation; it must "
                 "not be called from inside a network drain"
@@ -309,7 +312,7 @@ class RJoinEngine:
         if not self._handles:
             vacuumed = 0
             for node in self.nodes.values():
-                vacuumed += node.vacuum(self.kernel.now)
+                vacuumed += node.vacuum(self.transport.now)
             if vacuumed:
                 self.churn.record_vacuum(vacuumed)
         return purged
@@ -464,7 +467,7 @@ class RJoinEngine:
         tup = Tuple.from_schema(
             schema,
             values,
-            pub_time=self.kernel.now,
+            pub_time=self.transport.now,
             sequence=self._sequence + 1,
             publisher=publisher,
         )
@@ -485,26 +488,64 @@ class RJoinEngine:
         owner.  Crashes are the exception: they take effect immediately
         (see :meth:`crash_node`).
         """
-        processed = self.kernel.run_until_idle(
+        processed = self.transport.drain(
             max_events=self.config.max_events_per_publish
         )
         while self._pending_membership:
             ops, self._pending_membership = self._pending_membership, []
             for op in ops:
                 self._apply_membership_op(op)
-            processed += self.kernel.run_until_idle(
+            processed += self.transport.drain(
                 max_events=self.config.max_events_per_publish
             )
         return processed
 
     def tick(self, delta: float = 1.0) -> None:
         """Advance the simulated clock without publishing anything."""
-        self.kernel.advance_by(delta)
+        self.transport.advance_by(delta)
 
     @property
     def now(self) -> float:
         """Current simulated time."""
-        return self.kernel.now
+        return self.transport.now
+
+    @property
+    def runtime(self) -> str:
+        """Name of the runtime transport this engine runs on (``sim`` / ``asyncio``)."""
+        return self.transport.name
+
+    @property
+    def kernel(self) -> SimulationKernel:
+        """The deterministic event kernel (``sim`` runtime only).
+
+        Tests and oracle harnesses use it for event-level surgery; on a
+        concurrent runtime there is no kernel and this raises
+        :class:`EngineError`.
+        """
+        kernel = self.transport.kernel
+        if kernel is None:
+            raise EngineError(
+                f"the {self.transport.name!r} runtime has no simulation "
+                "kernel; event-level control is a 'sim' runtime feature"
+            )
+        return kernel
+
+    def close(self) -> None:
+        """Shut the engine down: drain the transport and release resources.
+
+        Idempotent.  Closes every node's tuple store (sqlite connections,
+        log files) and stops the runtime's actors/loop.  The engine must
+        not be used afterwards.
+        """
+        self.transport.shutdown()
+        for node in self.nodes.values():
+            node.tuple_store.close()
+
+    def __enter__(self) -> "RJoinEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     @property
     def published_tuples(self) -> int:
@@ -628,7 +669,7 @@ class RJoinEngine:
             raise DuplicateNodeError(
                 f"a node with address {address!r} already participates in the ring"
             )
-        if self.kernel.is_running:
+        if self.transport.is_draining:
             self._pending_membership.append(("join", address, node_id))
             return address
         self.run()
@@ -650,7 +691,7 @@ class RJoinEngine:
         if not graceful:
             return self.crash_node(address)
         address = self._resolve_victim(address, operation="remove")
-        if self.kernel.is_running:
+        if self.transport.is_draining:
             self._pending_membership.append(("leave", address))
             return address
         self.run()
@@ -724,20 +765,20 @@ class RJoinEngine:
         min_nodes: int = 2,
         max_nodes: Optional[int] = None,
     ) -> EventHandle:
-        """Schedule a membership change on the simulation kernel.
+        """Schedule a membership change on the runtime transport.
 
-        The operation fires ``delay`` simulated time units from now — in the
+        The operation fires ``delay`` (logical) time units from now — in the
         middle of whatever traffic is then in flight, which is exactly how
         real churn arrives.  ``min_nodes`` / ``max_nodes`` turn the fired
         event into a no-op when the ring has shrunk or grown past the bound
-        by the time it triggers.  Returns the kernel's event handle.
+        by the time it triggers.  Returns a cancellable event handle.
         """
         if kind not in ("join", "leave", "crash"):
             raise EngineError(
                 f"unknown membership operation {kind!r}; "
                 "expected 'join', 'leave' or 'crash'"
             )
-        return self.kernel.schedule_in(
+        return self.transport.schedule_in(
             delay, self._fire_membership_op, kind, address, graceful,
             min_nodes, max_nodes,
         )

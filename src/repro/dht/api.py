@@ -10,20 +10,25 @@ of the Chord ring and the discrete-event kernel:
 
 Each transmission (the originating send plus every routing hop) is charged
 to the transmitting node in :class:`~repro.net.stats.TrafficStats`, matching
-the traffic definition of Section 8.  Deliveries are scheduled on the
-simulation kernel with a delay proportional to the hop count, which realises
-the bounded-delay asynchronous model used by the formal analysis (Section 4).
+the traffic definition of Section 8.  Deliveries are posted to the runtime
+:class:`~repro.net.runtime.Transport` with a delay proportional to the hop
+count, which realises the bounded-delay asynchronous model used by the
+formal analysis (Section 4).  The service is transport-neutral: the same
+code runs on the deterministic ``sim`` kernel and the concurrent
+``asyncio`` actor runtime.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Sequence
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.dht.chord import ChordNode, ChordRing
 from repro.errors import ConfigurationError, RoutingError
 from repro.net.messages import Envelope, Message
-from repro.net.simulator import SimulationKernel
+from repro.net.runtime import Transport
+from repro.net.simulator import SimulationKernel, SimTransport
 from repro.net.stats import TrafficStats
 
 MessageHandler = Callable[[Envelope], None]
@@ -36,8 +41,11 @@ class DHTMessagingService:
     ----------
     ring:
         The Chord ring used for lookups and routing paths.
-    kernel:
-        The discrete-event kernel on which deliveries are scheduled.
+    transport:
+        The runtime transport deliveries are posted to.  A bare
+        :class:`~repro.net.simulator.SimulationKernel` is also accepted for
+        backward compatibility and wrapped in a
+        :class:`~repro.net.simulator.SimTransport` sharing that kernel.
     traffic:
         Traffic accounting sink.
     hop_delay:
@@ -52,7 +60,7 @@ class DHTMessagingService:
     def __init__(
         self,
         ring: ChordRing,
-        kernel: SimulationKernel,
+        transport: Union[Transport, SimulationKernel, None] = None,
         traffic: Optional[TrafficStats] = None,
         hop_delay: float = 1.0,
         delay_jitter: float = 0.0,
@@ -60,8 +68,13 @@ class DHTMessagingService:
     ) -> None:
         if hop_delay < 0 or delay_jitter < 0:
             raise ConfigurationError("delays must be non-negative")
+        if transport is None:
+            transport = SimTransport()
+        elif isinstance(transport, SimulationKernel):
+            transport = SimTransport(transport)
         self.ring = ring
-        self.kernel = kernel
+        self.transport = transport
+        self.transport.bind(self._deliver)
         self.traffic = traffic if traffic is not None else TrafficStats()
         self.hop_delay = hop_delay
         self.delay_jitter = delay_jitter
@@ -69,31 +82,49 @@ class DHTMessagingService:
         self._handlers: Dict[str, MessageHandler] = {}
         self._dropped = 0
 
+    @property
+    def kernel(self) -> SimulationKernel:
+        """Deprecated: the underlying simulation kernel (``sim`` runtime only).
+
+        Deliveries are now posted through :attr:`transport`; use that (or
+        ``transport.kernel`` when deterministic event surgery is really
+        needed).
+        """
+        warnings.warn(
+            "DHTMessagingService.kernel is deprecated; use "
+            "DHTMessagingService.transport (transport.kernel exposes the "
+            "sim runtime's kernel)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        kernel = self.transport.kernel
+        if kernel is None:
+            raise ConfigurationError(
+                f"the {self.transport.name!r} runtime has no simulation kernel"
+            )
+        return kernel
+
     # ------------------------------------------------------------------
     # handler registration
     # ------------------------------------------------------------------
     def register_handler(self, address: str, handler: MessageHandler) -> None:
         """Register the application-layer message handler of a node."""
         self._handlers[address] = handler
+        self.transport.register_address(address)
 
     def unregister_handler(self, address: str) -> None:
         """Remove the handler of a departed node (its messages are dropped)."""
         self._handlers.pop(address, None)
+        self.transport.unregister_address(address)
 
     def drop_in_flight(self, address: str) -> int:
         """Destroy every undelivered message addressed to ``address``.
 
-        Models an abrupt crash: deliveries already scheduled on the kernel
-        for the dead address are cancelled (the network loses them) and
-        counted as dropped.  Returns the number of messages destroyed.
+        Models an abrupt crash: deliveries already in flight towards the
+        dead address are cancelled (the network loses them) and counted as
+        dropped.  Returns the number of messages destroyed.
         """
-        # Bound-method comparison must use ``==``: every attribute access
-        # creates a fresh bound-method object, so ``is`` would never match.
-        dropped = self.kernel.cancel_where(
-            lambda callback, args: callback == self._deliver
-            and bool(args)
-            and args[0].destination == address
-        )
+        dropped = self.transport.cancel_inbound(address)
         self._dropped += dropped
         return dropped
 
@@ -104,7 +135,7 @@ class DHTMessagingService:
     ) -> int:
         """Re-route undelivered messages addressed to ``address``.
 
-        Every undelivered message to ``address`` is taken off the kernel;
+        Every undelivered message to ``address`` is taken off the network;
         ``reroute(message)`` (evaluated once per message) names its new
         destination, or ``None`` to drop it — the same fate
         :meth:`drop_in_flight` would apply.  Models owner failover: when a
@@ -115,13 +146,9 @@ class DHTMessagingService:
         sender has itself left the ring cannot be re-sent and are counted
         as dropped.  Returns the number of re-routed messages.
         """
-        pending = self.kernel.extract_where(
-            lambda callback, args: callback == self._deliver
-            and bool(args)
-            and args[0].destination == address
-        )
+        pending = self.transport.extract_inbound(address)
         rerouted = 0
-        for (envelope,) in pending:
+        for envelope in pending:
             destination = reroute(envelope.message)
             if destination is None or not self.ring.has_address(
                 envelope.sender
@@ -271,11 +298,11 @@ class DHTMessagingService:
             target_identifier=identifier,
             route=tuple(node.address for node in path),
             hops=hops,
-            sent_at=self.kernel.now,
-            delivered_at=self.kernel.now + delay,
+            sent_at=self.transport.now,
+            delivered_at=self.transport.now + delay,
             direct=direct,
         )
-        self.kernel.schedule_in(delay, self._deliver, envelope)
+        self.transport.post(envelope, delay)
         return envelope
 
     def _deliver(self, envelope: Envelope) -> None:

@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 
 from repro.data.backends import BACKEND_NAMES, DEFAULT_BACKEND
 from repro.errors import ExperimentError
+from repro.net.runtime import DEFAULT_TRANSPORT, TRANSPORT_NAMES
 from repro.sql.ast import WindowSpec
 
 FULL_SCALE_ENV = "REPRO_FULL_SCALE"
@@ -148,6 +149,11 @@ class ExperimentConfig:
     name: str = "experiment"
     # Network ----------------------------------------------------------------
     num_nodes: int = 100
+    #: Node runtime the engine executes on: ``sim`` (deterministic
+    #: discrete-event kernel, reproducible traffic/placement numbers) or
+    #: ``asyncio`` (concurrent actor tasks; answer bags identical, event
+    #: interleavings not).  Scenario defaults stay on ``sim``.
+    runtime: str = DEFAULT_TRANSPORT
     strategy: str = "rjoin"
     id_movement: bool = False
     #: Simulated time one routing hop takes and the extra per-message random
@@ -213,6 +219,11 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
             raise ExperimentError("num_nodes must be positive")
+        if self.runtime not in TRANSPORT_NAMES:
+            known = ", ".join(TRANSPORT_NAMES)
+            raise ExperimentError(
+                f"unknown runtime {self.runtime!r}; known runtimes: {known}"
+            )
         if self.num_queries < 0 or self.num_tuples < 0:
             raise ExperimentError("workload sizes must be non-negative")
         if self.warmup_tuples < 0:

@@ -136,6 +136,7 @@ def build_engine(config: ExperimentConfig) -> RJoinEngine:
     """Create an engine configured for ``config`` (without any workload)."""
     rj_config = RJoinConfig(
         num_nodes=config.num_nodes,
+        runtime=config.runtime,
         strategy=config.strategy,
         store_backend=config.store_backend,
         append_log_compact_min_dead=config.append_log_compact_min_dead,
@@ -317,7 +318,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     per_node_traffic = [
         counters.total for counters in engine.traffic.per_node().values()
     ]
-    return ExperimentResult(
+    result = ExperimentResult(
         config=config,
         summary=summary,
         baseline=baseline,
@@ -335,3 +336,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         cumulative_storage=cumulative_storage,
         answers=int(summary.get("answers", 0)),
     )
+    # Release the runtime (actor tasks, event loop, store handles): on the
+    # asyncio transport a garbage-collected loop would warn about pending
+    # actor tasks, and sqlite/append-log stores hold real file handles.
+    engine.close()
+    return result

@@ -22,12 +22,14 @@ from repro.experiments.config import ChurnSpec, ExperimentConfig, QueryChurnSpec
 from repro.experiments.runner import ExperimentResult
 from repro.sql.ast import WindowSpec
 
-#: v6: million-query matching added the trigger-path counters
-#: (``queries_triggered``, ``trigger_candidates_scanned``,
-#: ``shared_state_fanout``) to the summary.
+#: v7: the transport extraction added ``ExperimentConfig.runtime``
+#: (``sim`` / ``asyncio``) to the config schema.
 #: Older result files still *load* — ``result_from_dict``, ``load_cells``
 #: and ``report --diff`` accept any schema version.
-#: (v5: the metrics-summary key set became *declared* (:data:`SUMMARY_SCHEMA`)
+#: (v6: million-query matching added the trigger-path counters
+#: (``queries_triggered``, ``trigger_candidates_scanned``,
+#: ``shared_state_fanout``) to the summary;
+#: v5: the metrics-summary key set became *declared* (:data:`SUMMARY_SCHEMA`)
 #: and machine-checked against ``RJoinEngine.metrics_summary`` by the static
 #: analysis suite (``python -m repro.analysis check``, rule
 #: ``metrics-registry``) — adding or removing a summary counter without
@@ -35,7 +37,7 @@ from repro.sql.ast import WindowSpec
 #: v4: query lifecycle added ``ExperimentConfig.query_churn`` /
 #: ``ExperimentConfig.owner_failover`` plus the lifecycle counters;
 #: v3: ``ExperimentConfig.store_backend`` joined the config schema.)
-RESULT_SCHEMA_VERSION = 6
+RESULT_SCHEMA_VERSION = 7
 
 #: The declared key set of ``RJoinEngine.metrics_summary`` — the flat
 #: per-run metric dictionary embedded in every result cell (``summary`` /

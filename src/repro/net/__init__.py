@@ -1,11 +1,17 @@
-"""Discrete-event network simulation substrate.
+"""Network runtimes: the transport contract and its implementations.
 
 The paper's evaluation runs many Chord nodes inside a single process and
 measures message counts, query-processing load and storage load (Section 8).
-This subpackage provides the simulation kernel used for that purpose:
+This subpackage provides the node↔network boundary used for that purpose:
 
-* :class:`~repro.net.simulator.SimulationKernel` — a priority-queue
-  discrete-event scheduler with a global clock,
+* :class:`~repro.net.runtime.Transport` — the transport-neutral runtime
+  contract (delivery, in-flight surgery, timers, clock + drain loop), with
+  :func:`~repro.net.runtime.make_transport` as the registry factory,
+* :class:`~repro.net.simulator.SimulationKernel` /
+  :class:`~repro.net.simulator.SimTransport` — the deterministic
+  priority-queue discrete-event runtime (the test/oracle harness),
+* :class:`~repro.net.runtime_asyncio.AsyncioTransport` — the concurrent
+  runtime: one actor task per address, bounded inboxes, backpressure,
 * :class:`~repro.net.messages.Message` / :class:`~repro.net.messages.Envelope`
   — the base message abstraction and its routing metadata,
 * :class:`~repro.net.stats.TrafficStats` — per-node accounting of messages
@@ -13,11 +19,30 @@ This subpackage provides the simulation kernel used for that purpose:
 
 The model follows the relaxed asynchronous system model of Section 2: there
 is a known upper bound on message transmission delay; a message sent at time
-``t`` over ``h`` hops is delivered at ``t + h * hop_delay``.
+``t`` over ``h`` hops is delivered at ``t + h * hop_delay`` (logical time on
+the concurrent runtime).
 """
 
 from repro.net.messages import Envelope, Message
-from repro.net.simulator import SimulationKernel
+from repro.net.runtime import (
+    DEFAULT_TRANSPORT,
+    TRANSPORT_NAMES,
+    EventHandle,
+    Transport,
+    make_transport,
+)
+from repro.net.simulator import SimTransport, SimulationKernel
 from repro.net.stats import TrafficStats
 
-__all__ = ["Envelope", "Message", "SimulationKernel", "TrafficStats"]
+__all__ = [
+    "DEFAULT_TRANSPORT",
+    "Envelope",
+    "EventHandle",
+    "Message",
+    "SimTransport",
+    "SimulationKernel",
+    "TRANSPORT_NAMES",
+    "TrafficStats",
+    "Transport",
+    "make_transport",
+]

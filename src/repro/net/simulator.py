@@ -1,4 +1,4 @@
-"""Priority-queue discrete-event simulation kernel.
+"""The deterministic ``sim`` runtime: discrete-event kernel + transport.
 
 Every interaction in the simulated network — a message delivery, a timer, a
 garbage-collection sweep — is an *event*: a callback scheduled at a simulated
@@ -7,62 +7,53 @@ which keeps runs fully deterministic for a fixed seed) and advances the
 global clock.
 
 The kernel is deliberately minimal: it knows nothing about Chord or RJoin.
-The DHT messaging API (:mod:`repro.dht.api`) schedules message deliveries on
-it, and the engine (:mod:`repro.core.engine`) advances it between tuple
-publications.
+:class:`SimTransport` adapts it to the transport-neutral
+:class:`~repro.net.runtime.Transport` contract the DHT messaging API
+(:mod:`repro.dht.api`) programs against; the engine
+(:mod:`repro.core.engine`) drains it between tuple publications.  This is
+the test/oracle harness: two runs with the same seed take the same decisions
+in the same order.
+
+.. deprecated::
+    ``EventHandle`` moved to :mod:`repro.net.runtime` during the transport
+    extraction; importing it from this module still works but warns.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+import warnings
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.net import runtime as _runtime
+from repro.net.messages import Envelope
+from repro.net.runtime import DeliverCallback, Transport, _ScheduledEvent
+
+#: Names that moved to :mod:`repro.net.runtime`; accessing them here warns.
+_MOVED_TO_RUNTIME = ("EventHandle",)
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    """Internal heap entry: (time, sequence) ordering, payload not compared."""
-
-    time: float
-    sequence: int
-    callback: Callable[..., None] = field(compare=False)
-    args: Tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    fired: bool = field(compare=False, default=False)
-
-
-class EventHandle:
-    """Handle returned by :meth:`SimulationKernel.schedule_at`, allows cancellation."""
-
-    __slots__ = ("_event", "_kernel")
-
-    def __init__(self, event: _ScheduledEvent, kernel: "SimulationKernel") -> None:
-        self._event = event
-        self._kernel = kernel
-
-    def cancel(self) -> None:
-        """Prevent the event from firing (no-op if it already fired)."""
-        event = self._event
-        if event.fired or event.cancelled:
-            return
-        event.cancelled = True
-        self._kernel._live_events -= 1
-
-    @property
-    def time(self) -> float:
-        """Simulated time at which the event is scheduled."""
-        return self._event.time
-
-    @property
-    def cancelled(self) -> bool:
-        """Whether the event has been cancelled."""
-        return self._event.cancelled
+def __getattr__(name: str) -> Any:
+    """Deprecation shims for names that moved to :mod:`repro.net.runtime`."""
+    if name in _MOVED_TO_RUNTIME:
+        warnings.warn(
+            f"repro.net.simulator.{name} moved to repro.net.runtime.{name}; "
+            "update the import (the alias will be removed in a future "
+            "release)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_runtime, name)
+    # PEP 562 requires AttributeError here: hasattr()/getattr() probing
+    # depends on it, so the exception-discipline rule does not apply.
+    raise AttributeError(  # repro: allow[exception-discipline]
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
-class SimulationKernel:
+class SimulationKernel(_runtime._TimerLedger):
     """Deterministic discrete-event scheduler with a floating-point clock."""
 
     def __init__(self, start_time: float = 0.0) -> None:
@@ -106,7 +97,7 @@ class SimulationKernel:
     # ------------------------------------------------------------------
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
-    ) -> EventHandle:
+    ) -> _runtime.EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
         if time < self._now:
             raise SimulationError(
@@ -117,11 +108,11 @@ class SimulationKernel:
         )
         heapq.heappush(self._heap, event)
         self._live_events += 1
-        return EventHandle(event, self)
+        return _runtime.EventHandle(event, self)
 
     def schedule_in(
         self, delay: float, callback: Callable[..., None], *args: Any
-    ) -> EventHandle:
+    ) -> _runtime.EventHandle:
         """Schedule ``callback(*args)`` after ``delay`` time units."""
         if delay < 0:
             raise SimulationError("delay must be non-negative")
@@ -249,3 +240,148 @@ class SimulationKernel:
             f"SimulationKernel(now={self._now:g}, pending={self.pending_events}, "
             f"processed={self._events_processed})"
         )
+
+
+class SimTransport(Transport):
+    """The discrete-event kernel behind the :class:`Transport` contract.
+
+    Pure adaptation, no behaviour of its own: deliveries become kernel
+    events scheduled ``delay`` time units out and fire in (time, insertion)
+    order, exactly as the messaging API historically scheduled them — runs
+    are byte-identical to the pre-transport engine.  In-flight surgery maps
+    onto the kernel's predicate-based event cancellation/extraction.
+    """
+
+    name = "sim"
+
+    def __init__(self, kernel: Optional[SimulationKernel] = None) -> None:
+        self._kernel = kernel if kernel is not None else SimulationKernel()
+        self._deliver: Optional[DeliverCallback] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind(self, deliver: DeliverCallback) -> None:
+        """Install the delivery callback posted envelopes are handed to."""
+        self._deliver = deliver
+
+    def register_address(self, address: str) -> None:
+        """No per-address state: the kernel routes by envelope destination."""
+
+    def unregister_address(self, address: str) -> None:
+        """No per-address state to tear down."""
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._kernel.now
+
+    def advance_to(self, time: float) -> None:
+        """Move the simulated clock forward to ``time``."""
+        self._kernel.advance_to(time)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the simulated clock forward by ``delta`` time units."""
+        self._kernel.advance_by(delta)
+
+    # ------------------------------------------------------------------
+    # message delivery
+    # ------------------------------------------------------------------
+    def post(self, envelope: Envelope, delay: float) -> None:
+        """Schedule the envelope's delivery event on the kernel."""
+        if self._closed:
+            raise SimulationError("transport is shut down; post() refused")
+        if self._deliver is None:
+            raise SimulationError(
+                "no delivery callback bound; call bind() before post()"
+            )
+        self._kernel.schedule_in(delay, self._deliver, envelope)
+
+    def cancel_inbound(self, address: str) -> int:
+        """Cancel the delivery events of messages addressed to ``address``."""
+        # Bound-method comparison must use ``==``: every attribute access on
+        # the messaging service creates a fresh bound-method object, so a
+        # rebinding caller would defeat an ``is`` check.
+        deliver = self._deliver
+        return self._kernel.cancel_where(
+            lambda callback, args: callback == deliver
+            and bool(args)
+            and args[0].destination == address
+        )
+
+    def extract_inbound(self, address: str) -> List[Envelope]:
+        """Take the undelivered messages addressed to ``address`` off the kernel."""
+        deliver = self._deliver
+        pending = self._kernel.extract_where(
+            lambda callback, args: callback == deliver
+            and bool(args)
+            and args[0].destination == address
+        )
+        return [args[0] for args in pending]
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> _runtime.EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        return self._kernel.schedule_at(time, callback, *args)
+
+    def schedule_in(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> _runtime.EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` simulated time units."""
+        return self._kernel.schedule_in(delay, callback, *args)
+
+    # ------------------------------------------------------------------
+    # drain / shutdown
+    # ------------------------------------------------------------------
+    def drain(self, max_events: Optional[int] = None) -> int:
+        """Process events until the kernel queue is empty."""
+        return self._kernel.run_until_idle(max_events=max_events)
+
+    @property
+    def is_draining(self) -> bool:
+        """Whether the kernel's event loop is currently executing."""
+        return self._kernel.is_running
+
+    @property
+    def pending_events(self) -> int:
+        """Events waiting on the kernel (messages and timers)."""
+        return self._kernel.pending_events
+
+    @property
+    def events_processed(self) -> int:
+        """Total events the kernel has processed."""
+        return self._kernel.events_processed
+
+    def shutdown(self) -> None:
+        """Drain remaining events and refuse further posts.  Idempotent.
+
+        The kernel holds no external resources, so shutdown only needs to
+        honour the contract: outstanding work completes, then the transport
+        goes inert.
+        """
+        if self._closed:
+            return
+        if not self._kernel.is_running and self._kernel.pending_events:
+            self._kernel.run_until_idle()
+        self._closed = True
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether :meth:`shutdown` has completed."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> SimulationKernel:
+        """The underlying deterministic kernel (sim runtime only)."""
+        return self._kernel

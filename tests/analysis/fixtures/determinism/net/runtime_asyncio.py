@@ -1,0 +1,30 @@
+"""Exempt concurrent runtime (fixture tree, never imported).
+
+This file's path matches ``EXEMPT_FILES`` in the ``determinism-purity``
+rule: every construct below would fire anywhere else under the scope, and
+the test asserts none of them do — wall clock and scheduler nondeterminism
+are legitimate in the concurrent runtime.
+"""
+
+import random
+import time
+
+
+def backpressure_deadline():
+    return time.monotonic() + 0.25  # exempt: wall-clock timeout is the point
+
+
+def wall_clock_stamp():
+    return time.time()  # exempt: whole file is allowlisted
+
+
+def jittered_retry_delay():
+    return random.random()  # exempt: whole file is allowlisted
+
+
+def racing_actor_order(addresses):
+    ready = set(addresses)
+    order = []
+    for address in ready:  # exempt: scheduler order is nondeterministic anyway
+        order.append(address)
+    return order

@@ -1,0 +1,12 @@
+"""Deterministic transport with a seeded violation (fixture tree).
+
+The ``net/`` directory stays inside the ``determinism-purity`` scope even
+though ``net/runtime_asyncio.py`` is exempt; this file proves the exemption
+is per-file, not per-directory.
+"""
+
+import time
+
+
+def stamp_delivery():
+    return time.time()  # VIOLATION: sim transports must use the kernel clock

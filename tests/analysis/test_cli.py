@@ -52,7 +52,10 @@ class TestFormats:
         annotations = [line for line in lines if line.startswith("::error ")]
         assert annotations
         # The prefix maps fixture-relative paths onto repo-relative ones.
-        assert all("file=src/repro/core/" in line for line in annotations)
+        assert all(
+            "file=src/repro/core/" in line or "file=src/repro/net/" in line
+            for line in annotations
+        )
         assert all("line=" in line for line in annotations)
 
     def test_verbose_lists_suppressed(self, capsys):

@@ -3,12 +3,44 @@
 from __future__ import annotations
 
 import random
+import signal
 
 import pytest
 
 from repro.core.config import RJoinConfig
 from repro.core.engine import RJoinEngine
 from repro.data.schema import Catalog
+
+
+@pytest.fixture(autouse=True)
+def _hard_timeout(request):
+    """Hard per-test timeout guard, opt-in via ``@pytest.mark.hard_timeout(s)``.
+
+    The concurrent-runtime tests drive a real event loop; a bug there hangs
+    instead of failing.  pytest-timeout is not part of the CI image, so the
+    guard is a plain SIGALRM: the marked test gets ``seconds`` (default 60)
+    of wall clock before a ``TimeoutError`` aborts it with a stack trace.
+    No-op on platforms without SIGALRM.
+    """
+    marker = request.node.get_closest_marker("hard_timeout")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.args[0]) if marker.args else 60
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the hard {seconds}s timeout (likely a hang in "
+            "the concurrent runtime)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture
