@@ -25,11 +25,15 @@ meaningful in the default mode, where each cell carries real work.
 
 The report also records a **sim vs asyncio** head-to-head on a query-flood
 style workload (many standing queries, one tuple stream) under
-``query_flood_runtime_comparison``: wall-clock seconds per runtime plus the
-throughput ratio.  Deliberately *not* keyed ``*_per_second``, so the CI
-regression gate never compares it — on a single-core host the asyncio
-runtime timeshares one event loop and the ratio hovers at or below 1x; the
-number only becomes a speedup claim on real multi-core hardware.
+``query_flood_runtime_comparison``: wall-clock seconds per runtime, a
+per-phase breakdown (submit vs publish) with the drain-loop event count and
+``drain_events_per_sec`` for each runtime — so the throughput ratio is
+explainable (is asyncio slower because it processed more events, or because
+each event cost more?) — plus the throughput ratio itself.  Deliberately
+*not* keyed ``*_per_second``, so the CI regression gate never compares any
+of it — on a single-core host the asyncio runtime timeshares one event loop
+and the ratio hovers at or below 1x; the number only becomes a speedup
+claim on real multi-core hardware.
 """
 
 from __future__ import annotations
@@ -76,10 +80,12 @@ def run_runtime_comparison(
 
     Both engines see the same queries and the same tuple stream; the bag
     sizes must agree (the cross-runtime equality the test suite proves in
-    full), and only the publication phase is timed.  Sizing note: answers
-    grow combinatorially with the workload (40 queries × 160 tuples already
-    produce ~190k answers, a ~5 s timed window per runtime) — scale with
-    care.
+    full), and the submit and publication phases are timed separately, with
+    the drain-loop event count of each phase, so the sim/asyncio ratio is
+    explainable from the per-phase numbers instead of being one opaque
+    total.  Sizing note: answers grow combinatorially with the workload
+    (40 queries × 160 tuples already produce ~190k answers, a ~5 s timed
+    window per runtime) — scale with care.
     """
     if smoke:
         num_nodes, num_queries, num_tuples = 8, 6, 20
@@ -95,16 +101,34 @@ def run_runtime_comparison(
     tuples = generator.generate_tuples(num_tuples)
     seconds: Dict[str, float] = {}
     answers: Dict[str, int] = {}
+    phases: Dict[str, Dict[str, float]] = {}
     for runtime in TRANSPORT_NAMES:
         engine = RJoinEngine(
             RJoinConfig(num_nodes=num_nodes, seed=90, runtime=runtime)
         )
         engine.register_catalog(generator.catalog)
+        submit_start = perf_counter()
         handles = [engine.submit(query) for query in queries]
+        submit_seconds = perf_counter() - submit_start
+        submit_events = engine.transport.events_processed
         start = perf_counter()
         for generated in tuples:
             engine.publish(generated.relation, generated.values)
-        seconds[runtime] = perf_counter() - start
+        publish_seconds = perf_counter() - start
+        publish_events = engine.transport.events_processed - submit_events
+        seconds[runtime] = publish_seconds
+        phases[runtime] = {
+            "submit_seconds": submit_seconds,
+            "submit_events_processed": float(submit_events),
+            "publish_seconds": publish_seconds,
+            "publish_events_processed": float(publish_events),
+            # Deliberately ``_per_sec`` (not ``_per_second``): the CI
+            # regression gate's RATE_KEY pattern must not compare drain
+            # throughput across heterogeneous hosts.
+            "drain_events_per_sec": (
+                publish_events / publish_seconds if publish_seconds > 0 else 0.0
+            ),
+        }
         answers[runtime] = sum(handle.count for handle in handles)
         engine.close()
     if len(set(answers.values())) != 1:
@@ -119,6 +143,7 @@ def run_runtime_comparison(
         "answers": answers["sim"],
         "sim_seconds": seconds["sim"],
         "asyncio_seconds": asyncio_seconds,
+        "phases": phases,
         "asyncio_over_sim_throughput": (
             seconds["sim"] / asyncio_seconds if asyncio_seconds > 0 else 0.0
         ),

@@ -120,6 +120,18 @@ SMOKE_SUITES: List[
             f"{report['sharing']['storage_savings']:.0%} sharing savings"
         ),
     ),
+    (
+        "bench_observability",
+        lambda module: module.run_bench(smoke=True),
+        # Report stays smoke-sized: CI's dedicated gate step re-runs this
+        # suite at measured sizes with --check and overwrites the report,
+        # so measuring here would only double the wall-clock.
+        lambda module: module.run_bench(smoke=True),
+        lambda report: (
+            f"off {report['gates']['off_over_baseline']:.2f}x, "
+            f"on {report['gates']['on_over_baseline']:.2f}x"
+        ),
+    ),
 ]
 
 

@@ -1,14 +1,16 @@
 """``python -m repro`` — the umbrella command-line entry point.
 
-Dispatches to the two existing sub-CLIs without re-implementing them::
+Dispatches to the existing sub-CLIs without re-implementing them::
 
     python -m repro experiments run baseline --out results/
     python -m repro experiments list
     python -m repro analysis check
+    python -m repro obs summarize trace.jsonl
 
 The direct module invocations (``python -m repro.experiments``,
-``python -m repro.analysis``) keep working unchanged; the umbrella just
-strips its subcommand and forwards the remaining arguments verbatim.
+``python -m repro.analysis``, ``python -m repro.obs``) keep working
+unchanged; the umbrella just strips its subcommand and forwards the
+remaining arguments verbatim.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from typing import Optional, Sequence
 #: Subcommand name → ``main(argv)``-style callable, resolved lazily so the
 #: umbrella stays importable even when a subsystem's heavier dependencies
 #: are unavailable in a trimmed environment.
-_SUBCOMMANDS = ("experiments", "analysis")
+_SUBCOMMANDS = ("experiments", "analysis", "obs")
 
 _USAGE = """\
 usage: python -m repro <command> [args...]
@@ -29,6 +31,8 @@ commands:
                 `python -m repro experiments --help`
   analysis      in-tree static analysis (check / baseline); see
                 `python -m repro analysis --help`
+  obs           trace-file inspection (summarize / convert); see
+                `python -m repro obs --help`
 """
 
 
@@ -47,6 +51,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.analysis.cli import main as analysis_main
 
         return analysis_main(rest)
+    if command == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(rest)
     known = ", ".join(_SUBCOMMANDS)
     print(
         f"unknown command {command!r}; known commands: {known}",

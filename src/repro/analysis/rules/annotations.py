@@ -24,7 +24,7 @@ from repro.analysis.base import Finding, Rule, SourceFile
 from repro.analysis.project import Project
 
 #: Packages under the strict-typing gate (mirrors the mypy CI scope).
-SCOPE = ("core/", "data/", "net/", "dht/", "metrics/", "analysis/")
+SCOPE = ("core/", "data/", "net/", "dht/", "metrics/", "analysis/", "obs/")
 
 _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 

@@ -16,7 +16,12 @@ the three layers together at lint time:
 * the key set of the ``metrics_summary`` dict literal equals the declared
   :data:`~repro.metrics.serialize.SUMMARY_SCHEMA` in
   ``metrics/serialize.py`` — result-schema drift fails the check instead
-  of shipping.
+  of shipping,
+* every histogram declared in ``repro.obs.instruments.HISTOGRAMS`` surfaces
+  as ``<name>_p50`` / ``<name>_p95`` / ``<name>_p99`` entries of the
+  declared schema, ``metrics_summary`` folds them in through a
+  ``**histogram_percentiles(...)`` spread, and no phantom percentile key
+  names a histogram that does not exist.
 """
 
 from __future__ import annotations
@@ -30,9 +35,13 @@ from repro.analysis.project import Project
 COLLECTORS_FILE = "metrics/collectors.py"
 SERIALIZE_FILE = "metrics/serialize.py"
 ENGINE_FILE = "core/engine.py"
+INSTRUMENTS_FILE = "obs/instruments.py"
 STATS_CLASS = "ChurnStats"
 SUMMARY_METHOD = "metrics_summary"
 SCHEMA_NAME = "SUMMARY_SCHEMA"
+HISTOGRAMS_NAME = "HISTOGRAMS"
+FOLD_HELPER = "histogram_percentiles"
+PERCENTILE_SUFFIXES = ("p50", "p95", "p99")
 
 
 def _find_class(sf: SourceFile, name: str) -> Optional[ast.ClassDef]:
@@ -55,6 +64,49 @@ def _is_property(func: ast.FunctionDef) -> bool:
         or (isinstance(d, ast.Attribute) and d.attr in {"getter", "property"})
         for d in func.decorator_list
     )
+
+
+def _histogram_name(elt: ast.expr) -> Optional[str]:
+    """The declared name of one ``HISTOGRAMS`` element.
+
+    The real tree declares ``HistogramSpec(name="...", ...)`` entries;
+    fixture trees may use bare strings — both shapes are accepted.
+    """
+    if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+        return elt.value
+    if isinstance(elt, ast.Call):
+        for kw in elt.keywords:
+            if (
+                kw.arg == "name"
+                and isinstance(kw.value, ast.Constant)
+                and isinstance(kw.value.value, str)
+            ):
+                return kw.value.value
+        if (
+            elt.args
+            and isinstance(elt.args[0], ast.Constant)
+            and isinstance(elt.args[0].value, str)
+        ):
+            return elt.args[0].value
+    return None
+
+
+def _percentile_base(key: str) -> Optional[str]:
+    """``"hop_delay"`` for ``"hop_delay_p95"``; None for non-percentile keys."""
+    base, _, suffix = key.rpartition("_")
+    if base and suffix in PERCENTILE_SUFFIXES:
+        return base
+    return None
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    """The simple name a call invokes (``f(...)`` or ``mod.f(...)``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
 
 
 def _self_attrs(node: ast.AST) -> Set[str]:
@@ -274,9 +326,112 @@ class MetricsRegistryRule(Rule):
                 "deliberately instead of drifting",
             )
         for key in sorted(schema - set(keys)):
+            if _percentile_base(key) is not None:
+                # Percentile keys reach the summary through the
+                # histogram_percentiles fold, not the dict literal; the
+                # histogram checks below own both directions for them.
+                continue
             yield self.finding(
                 serialize,
                 schema_node,
                 f"{SCHEMA_NAME} declares {key!r} but {SUMMARY_METHOD} "
                 f"({ENGINE_FILE}) does not emit it: stale schema entry",
             )
+        yield from self._check_histograms(
+            project, engine, summary, serialize, schema, schema_node
+        )
+
+    # ------------------------------------------------------------------
+    # declared histograms vs the schema's percentile keys
+    # ------------------------------------------------------------------
+    def _declared_histograms(
+        self, instruments: SourceFile
+    ) -> Optional[Tuple[Set[str], ast.AST]]:
+        for node in ast.walk(instruments.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == HISTOGRAMS_NAME
+                for t in targets
+            ):
+                continue
+            if not isinstance(value, (ast.Tuple, ast.List)):
+                continue
+            names: Set[str] = set()
+            for elt in value.elts:
+                name = _histogram_name(elt)
+                if name is not None:
+                    names.add(name)
+            return names, node
+        return None
+
+    def _has_percentile_fold(self, summary: ast.FunctionDef) -> bool:
+        """Whether the summary dict literal spreads ``histogram_percentiles``."""
+        for sub in ast.walk(summary):
+            if not (
+                isinstance(sub, ast.Return) and isinstance(sub.value, ast.Dict)
+            ):
+                continue
+            for key, value in zip(sub.value.keys, sub.value.values):
+                if key is not None:  # ``**spread`` entries have a None key
+                    continue
+                for call in ast.walk(value):
+                    if isinstance(call, ast.Call) and _callee_name(call) == (
+                        FOLD_HELPER
+                    ):
+                        return True
+        return False
+
+    def _check_histograms(
+        self,
+        project: Project,
+        engine: SourceFile,
+        summary: ast.FunctionDef,
+        serialize: SourceFile,
+        schema: Set[str],
+        schema_node: ast.AST,
+    ) -> Iterator[Finding]:
+        instruments = project.get(INSTRUMENTS_FILE)
+        if instruments is None:
+            return
+        declared = self._declared_histograms(instruments)
+        if declared is None:
+            return
+        histograms, _ = declared
+        if histograms and not self._has_percentile_fold(summary):
+            yield self.finding(
+                engine,
+                summary,
+                f"{SUMMARY_METHOD} does not spread "
+                f"**{FOLD_HELPER}(...) into its dict literal: the "
+                f"histograms declared in {INSTRUMENTS_FILE} can never "
+                "surface in the summary",
+            )
+        for name in sorted(histograms):
+            for suffix in PERCENTILE_SUFFIXES:
+                key = f"{name}_{suffix}"
+                if key not in schema:
+                    yield self.finding(
+                        serialize,
+                        schema_node,
+                        f"histogram {name!r} ({INSTRUMENTS_FILE}) has no "
+                        f"{key!r} entry in {SCHEMA_NAME}: every declared "
+                        "histogram must surface as p50/p95/p99 summary keys",
+                    )
+        for key in sorted(schema):
+            base = _percentile_base(key)
+            if base is not None and base not in histograms:
+                yield self.finding(
+                    serialize,
+                    schema_node,
+                    f"{SCHEMA_NAME} declares {key!r} but no histogram "
+                    f"{base!r} is declared in {INSTRUMENTS_FILE}: phantom "
+                    "percentile key",
+                )

@@ -8,6 +8,7 @@ from typing import Optional, Union
 from repro.data.backends import BACKEND_NAMES, DEFAULT_BACKEND, StoreTuning
 from repro.errors import ConfigurationError
 from repro.net.runtime import DEFAULT_TRANSPORT, TRANSPORT_NAMES
+from repro.obs.trace import OBSERVABILITY_MODES
 from repro.sql.ast import WindowSpec
 
 #: Sentinel meaning "derive the ALTT retention Δ from the network's bounded delay".
@@ -110,6 +111,17 @@ class RJoinConfig:
     max_events_per_publish:
         Optional guard on the number of simulation events a single tuple
         publication may trigger (protects tests from runaway cascades).
+    observability:
+        ``"off"`` (the default — no tracer, no instruments, near-zero
+        overhead) or ``"on"``: every envelope carries a trace context,
+        every delivery opens a span, and the latency/load histograms of
+        :mod:`repro.obs` are recorded and folded into
+        :meth:`~repro.core.engine.RJoinEngine.metrics_summary`.
+    trace_path:
+        With ``observability="on"``, stream finished spans to this JSONL
+        file (bounded; see :data:`repro.obs.DEFAULT_MAX_SPANS`).  ``None``
+        retains spans in memory — read them via ``engine.obs.spans`` or
+        dump them with ``engine.write_trace(path)``.
     """
 
     num_nodes: int = 64
@@ -136,6 +148,8 @@ class RJoinConfig:
     light_load_factor: float = 0.5
     seed: int = 0
     max_events_per_publish: Optional[int] = None
+    observability: str = "off"
+    trace_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -175,6 +189,17 @@ class RJoinConfig:
             raise ConfigurationError("rebalance_every_tuples must be positive")
         if not 0 < self.light_load_factor <= 1:
             raise ConfigurationError("light_load_factor must be in (0, 1]")
+        if self.observability not in OBSERVABILITY_MODES:
+            known = ", ".join(OBSERVABILITY_MODES)
+            raise ConfigurationError(
+                f"unknown observability mode {self.observability!r}; "
+                f"known modes: {known}"
+            )
+        if self.trace_path is not None and self.observability == "off":
+            raise ConfigurationError(
+                "trace_path requires observability='on' (nothing would "
+                "ever be written to it otherwise)"
+            )
 
     @property
     def store_tuning(self) -> StoreTuning:

@@ -24,8 +24,18 @@ at any time through :attr:`traffic`, :attr:`loads` and
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (
+    ContextManager,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.core.answers import Answer, QueryHandle
 from repro.core.config import RJoinConfig
@@ -52,6 +62,8 @@ from repro.metrics.collectors import ChurnStats, LoadTracker
 from repro.net.runtime import EventHandle, make_transport
 from repro.net.simulator import SimulationKernel
 from repro.net.stats import TrafficStats
+from repro.obs.context import Observability
+from repro.obs.instruments import histogram_percentiles
 from repro.sql.ast import Query, WindowSpec
 from repro.sql.parser import parse_query
 
@@ -80,6 +92,15 @@ class RJoinEngine:
         # Substrates -------------------------------------------------------
         self.space = IdentifierSpace(self.config.bits)
         self.transport = make_transport(self.config.runtime)
+        #: The tracing/metrics facade, or ``None`` when observability is off
+        #: (the instrumented paths then compile down to a single None check).
+        self.obs: Optional[Observability] = None
+        if self.config.observability == "on":
+            self.obs = Observability(
+                clock=lambda: self.transport.now,
+                wall_clock=self.transport.wall_clock_spans,
+                trace_path=self.config.trace_path,
+            )
         self.traffic = TrafficStats()
         self.loads = LoadTracker()
         self.ring = ChordRing.create_network(
@@ -92,6 +113,7 @@ class RJoinEngine:
             hop_delay=self.config.hop_delay,
             delay_jitter=self.config.delay_jitter,
             rng=random.Random(self.config.seed + 1),
+            observability=self.obs,
         )
         self.strategy = strategy or make_strategy(self.config.strategy)
 
@@ -112,6 +134,7 @@ class RJoinEngine:
             altt_delta=altt_delta,
             store_backend=self.config.store_backend,
             store_tuning=self.config.store_tuning,
+            obs=self.obs,
             # Lifecycle callbacks resolve ``self.lifecycle`` / ``self.churn``
             # lazily: the context must exist before either does.
             resolve_owner=lambda query_id, default: self.lifecycle.resolve_owner(
@@ -257,7 +280,8 @@ class RJoinEngine:
             insertion_time=insertion_time,
             is_input=True,
         )
-        self.nodes[owner].submit_query(state)
+        with self._operation("submit", f"sub-{query_id}", owner):
+            self.nodes[owner].submit_query(state)
         if process:
             self.run()
         return handle
@@ -301,8 +325,9 @@ class RJoinEngine:
             origin = self.ring.owner_of_key(query_id).address
         retraction = RetractQueryMessage(query_id=query_id, origin=origin)
         self._retraction_purged = 0
-        for address in self.ring.addresses:
-            self.api.send_direct(origin, retraction, address)
+        with self._operation("retract", f"rm-{query_id}", origin):
+            for address in self.ring.addresses:
+                self.api.send_direct(origin, retraction, address)
         self.run()
         purged = self._retraction_purged
         self.lifecycle.deregister(query_id)
@@ -341,7 +366,8 @@ class RJoinEngine:
         elif publisher not in self.nodes:
             raise EngineError(f"unknown publisher node {publisher!r}")
         tup = self._build_tuple(relation, values, publisher)
-        self.nodes[publisher].publish_tuple(tup)
+        with self._operation("publish", f"pub-{tup.sequence}", publisher):
+            self.nodes[publisher].publish_tuple(tup)
         published_before = self._published
         self._published += 1
         if process:
@@ -400,7 +426,12 @@ class RJoinEngine:
             by_publisher.setdefault(address, []).append(tup)
             published.append(tup)
         for address, tuples in by_publisher.items():
-            self.nodes[address].publish_tuples(tuples)
+            # One root span per publisher group, named after its first
+            # sequence number: the whole multiSend fan-out of the group
+            # shares one trace.
+            trace_id = f"pub-{tuples[0].sequence}"
+            with self._operation("publish_batch", trace_id, address):
+                self.nodes[address].publish_tuples(tuples)
         self._published += len(published)
         if process:
             self.run()
@@ -540,6 +571,22 @@ class RJoinEngine:
         self.transport.shutdown()
         for node in self.nodes.values():
             node.tuple_store.close()
+        if self.obs is not None:
+            self.obs.close()
+
+    def write_trace(self, path: str) -> int:
+        """Dump the spans recorded so far as JSONL; returns the span count.
+
+        Only meaningful with ``observability="on"`` and no ``trace_path``
+        (spans retained in memory); with a ``trace_path`` the spans already
+        stream to that file.
+        """
+        if self.obs is None:
+            raise EngineError(
+                "observability is off; enable it with "
+                "RJoinConfig(observability='on') to record spans"
+            )
+        return self.obs.write_trace(path)
 
     def __enter__(self) -> "RJoinEngine":
         return self
@@ -568,6 +615,16 @@ class RJoinEngine:
                 producer=message.producer,
             )
         )
+        if self.obs is not None:
+            self.obs.record_answer_latency(delivered_at)
+
+    def _operation(
+        self, name: str, trace_id: str, node: str
+    ) -> ContextManager[None]:
+        """A root span for an engine-level operation (no-op when obs is off)."""
+        if self.obs is None:
+            return nullcontext()
+        return self.obs.operation(name, trace_id, node)
 
     @property
     def handles(self) -> Mapping[str, QueryHandle]:
@@ -952,6 +1009,10 @@ class RJoinEngine:
                 self.churn.trigger_candidates_scanned
             ),
             "shared_state_fanout": float(self.churn.shared_state_fanout),
+            # Observability (latency/load histograms; zeros when off) ------
+            **histogram_percentiles(
+                self.obs.registry if self.obs is not None else None
+            ),
         }
 
     @property

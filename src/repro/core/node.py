@@ -83,6 +83,7 @@ from repro.sql.ast import WindowSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.lifecycle import HandleRegistration
+    from repro.obs.context import Observability
 
 
 @dataclass
@@ -126,6 +127,10 @@ class NodeContext:
     record_queries_triggered: Optional[Callable[[int], None]] = None
     #: Extra subscribers served per shared-state answer emission.
     record_shared_fanout: Optional[Callable[[int], None]] = None
+    # End-to-end observability (tracing + histograms) ----------------------
+    #: The engine's tracing/metrics facade; ``None`` when observability is
+    #: off, in which case every node-level hook is a single None check.
+    obs: Optional["Observability"] = None
 
 
 @dataclass
@@ -611,6 +616,8 @@ class RJoinNode:
         tup = msg.tuple
         self.ctx.loads.record_tuple_received(self.address)
         self.rates.record(key.text, now)
+        if self.ctx.obs is not None:
+            self.ctx.obs.record_key_load(key.text)
 
         if key.level == ATTRIBUTE_LEVEL:
             self._trigger_stored_queries(self.input_queries, key.text, tup)
@@ -836,6 +843,8 @@ class RJoinNode:
         (tuples,) = self.tuple_store.match_batch(
             ((PREFIX_PROBE, key.attribute_prefix),)
         )
+        if self.ctx.obs is not None:
+            self.ctx.obs.record_store_probe(len(tuples))
         seen = {tup.identity for tup in tuples}
         extras: List[Tuple] = []
         for tup in self.altt.find(key.text, now):
@@ -941,6 +950,8 @@ class RJoinNode:
 
     def _on_ric_request(self, msg: RicRequestMessage) -> None:
         """Report the local arrival rate and forward the chain (Section 6)."""
+        if self.ctx.obs is not None:
+            self.ctx.obs.record_ric("request")
         now = self.ctx.clock()
         entry = RicEntry(
             key_text=msg.target_key.text,
@@ -970,6 +981,8 @@ class RJoinNode:
 
     def _on_ric_reply(self, msg: RicReplyMessage) -> None:
         """Complete a pending indexing decision with the freshly gathered rates."""
+        if self.ctx.obs is not None:
+            self.ctx.obs.record_ric("reply")
         op = self._pending_ric.pop(msg.request_id, None)
         if op is None:
             return

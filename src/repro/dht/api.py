@@ -30,6 +30,8 @@ from repro.net.messages import Envelope, Message
 from repro.net.runtime import Transport
 from repro.net.simulator import SimulationKernel, SimTransport
 from repro.net.stats import TrafficStats
+from repro.obs.context import Observability
+from repro.obs.trace import TraceContext
 
 MessageHandler = Callable[[Envelope], None]
 
@@ -55,6 +57,11 @@ class DHTMessagingService:
         Optional extra random delay (uniform in ``[0, delay_jitter]``) added
         per message, used by tests that exercise the ALTT/Δ machinery with
         out-of-order deliveries.
+    observability:
+        Optional :class:`~repro.obs.context.Observability` facade.  When
+        given, every posted envelope is stamped with a trace context and
+        every delivery runs inside a span that records the transit
+        instruments (hop delay, inbox depth, handler service time).
     """
 
     def __init__(
@@ -65,6 +72,7 @@ class DHTMessagingService:
         hop_delay: float = 1.0,
         delay_jitter: float = 0.0,
         rng: Optional[random.Random] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         if hop_delay < 0 or delay_jitter < 0:
             raise ConfigurationError("delays must be non-negative")
@@ -79,6 +87,7 @@ class DHTMessagingService:
         self.hop_delay = hop_delay
         self.delay_jitter = delay_jitter
         self._rng = rng or random.Random(0)
+        self._obs = observability
         self._handlers: Dict[str, MessageHandler] = {}
         self._dropped = 0
 
@@ -155,7 +164,15 @@ class DHTMessagingService:
             ):
                 self._dropped += 1
                 continue
-            self.send_direct(envelope.sender, envelope.message, destination)
+            # The extracted envelope was never delivered, so its span was
+            # never opened: the re-send carries the *same* trace context and
+            # the eventual delivery stays inside the original trace.
+            self.send_direct(
+                envelope.sender,
+                envelope.message,
+                destination,
+                trace=envelope.trace,
+            )
             rerouted += 1
         return rerouted
 
@@ -242,6 +259,7 @@ class DHTMessagingService:
         message: Message,
         destination: str,
         is_ric: bool = False,
+        trace: Optional[TraceContext] = None,
     ) -> Envelope:
         """``sendDirect(msg, addr)``: deliver ``message`` to a known address in one hop."""
         sender_node = self.ring.node_by_address(sender)
@@ -265,6 +283,7 @@ class DHTMessagingService:
             identifier=None,
             is_ric=is_ric,
             direct=True,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -279,6 +298,7 @@ class DHTMessagingService:
         is_ric: bool,
         direct: bool = False,
         record_traffic: bool = True,
+        trace: Optional[TraceContext] = None,
     ) -> Envelope:
         destination = path[-1]
         hops = len(path) - 1
@@ -302,6 +322,10 @@ class DHTMessagingService:
             delivered_at=self.transport.now + delay,
             direct=direct,
         )
+        if self._obs is not None:
+            envelope.trace = (
+                trace if trace is not None else self._obs.context_for(envelope)
+            )
         self.transport.post(envelope, delay)
         return envelope
 
@@ -309,5 +333,14 @@ class DHTMessagingService:
         handler = self._handlers.get(envelope.destination)
         if handler is None:
             self._dropped += 1
+            if self._obs is not None:
+                self._obs.record_dropped(envelope)
             return
-        handler(envelope)
+        if self._obs is None:
+            handler(envelope)
+            return
+        span = self._obs.delivery_begin(envelope, self.transport.pending_events)
+        try:
+            handler(envelope)
+        finally:
+            self._obs.delivery_end(span)

@@ -119,3 +119,7 @@ class MetricsError(ReproError):
 
 class AnalysisError(ReproError):
     """The static-analysis suite was driven with invalid inputs."""
+
+
+class ObservabilityError(ReproError):
+    """The tracing/metrics layer was configured or driven with invalid inputs."""

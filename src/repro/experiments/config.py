@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple
 from repro.data.backends import BACKEND_NAMES, DEFAULT_BACKEND
 from repro.errors import ExperimentError
 from repro.net.runtime import DEFAULT_TRANSPORT, TRANSPORT_NAMES
+from repro.obs.trace import OBSERVABILITY_MODES
 from repro.sql.ast import WindowSpec
 
 FULL_SCALE_ENV = "REPRO_FULL_SCALE"
@@ -214,6 +215,12 @@ class ExperimentConfig:
     # Instrumentation ----------------------------------------------------------
     checkpoints: List[int] = field(default_factory=list)
     capture_per_tuple: bool = False
+    #: Observability mode of the engine (``off`` / ``on``); ``on`` records
+    #: per-delivery spans and the latency/load histograms whose percentiles
+    #: land in the summary (``answer_latency_p95`` and friends).
+    observability: str = "off"
+    #: With ``observability="on"``, stream spans to this JSONL file.
+    trace_path: Optional[str] = None
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -237,6 +244,12 @@ class ExperimentConfig:
             )
         if self.batch_size < 1:
             raise ExperimentError("batch_size must be at least one tuple")
+        if self.observability not in OBSERVABILITY_MODES:
+            known = ", ".join(OBSERVABILITY_MODES)
+            raise ExperimentError(
+                f"unknown observability mode {self.observability!r}; "
+                f"known modes: {known}"
+            )
         if not 0.0 <= self.hot_key_fraction <= 1.0:
             raise ExperimentError("hot_key_fraction must lie in [0, 1]")
         if self.hop_delay < 0 or self.delay_jitter < 0:

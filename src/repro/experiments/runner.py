@@ -148,6 +148,8 @@ def build_engine(config: ExperimentConfig) -> RJoinEngine:
         hop_delay=config.hop_delay,
         delay_jitter=config.delay_jitter,
         tuple_gc_window=config.window,
+        observability=config.observability,
+        trace_path=config.trace_path,
         # The experiments explore the full candidate space of Section 6
         # (families (a), (b) and (c)); this is what separates the Worst and
         # Random baselines from RJoin in Figure 2.

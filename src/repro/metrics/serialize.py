@@ -22,11 +22,15 @@ from repro.experiments.config import ChurnSpec, ExperimentConfig, QueryChurnSpec
 from repro.experiments.runner import ExperimentResult
 from repro.sql.ast import WindowSpec
 
-#: v7: the transport extraction added ``ExperimentConfig.runtime``
-#: (``sim`` / ``asyncio``) to the config schema.
+#: v8: the observability layer added the latency/load histogram percentiles
+#: (``answer_latency_p50``/``p95``/``p99`` and friends — three keys per
+#: histogram declared in ``repro.obs.instruments.HISTOGRAMS``) to the
+#: summary, plus ``ExperimentConfig.observability`` to the config schema.
 #: Older result files still *load* — ``result_from_dict``, ``load_cells``
 #: and ``report --diff`` accept any schema version.
-#: (v6: million-query matching added the trigger-path counters
+#: (v7: the transport extraction added ``ExperimentConfig.runtime``
+#: (``sim`` / ``asyncio``) to the config schema;
+#: v6: million-query matching added the trigger-path counters
 #: (``queries_triggered``, ``trigger_candidates_scanned``,
 #: ``shared_state_fanout``) to the summary;
 #: v5: the metrics-summary key set became *declared* (:data:`SUMMARY_SCHEMA`)
@@ -37,7 +41,7 @@ from repro.sql.ast import WindowSpec
 #: v4: query lifecycle added ``ExperimentConfig.query_churn`` /
 #: ``ExperimentConfig.owner_failover`` plus the lifecycle counters;
 #: v3: ``ExperimentConfig.store_backend`` joined the config schema.)
-RESULT_SCHEMA_VERSION = 7
+RESULT_SCHEMA_VERSION = 8
 
 #: The declared key set of ``RJoinEngine.metrics_summary`` — the flat
 #: per-run metric dictionary embedded in every result cell (``summary`` /
@@ -81,6 +85,24 @@ SUMMARY_SCHEMA: Tuple[str, ...] = (
     "queries_triggered",
     "trigger_candidates_scanned",
     "shared_state_fanout",
+    # Observability histogram percentiles (three keys per histogram declared
+    # in ``repro.obs.instruments.HISTOGRAMS``; all zero when observability
+    # is off so the key set never depends on the mode).
+    "answer_latency_p50",
+    "answer_latency_p95",
+    "answer_latency_p99",
+    "hop_delay_p50",
+    "hop_delay_p95",
+    "hop_delay_p99",
+    "handler_service_time_us_p50",
+    "handler_service_time_us_p95",
+    "handler_service_time_us_p99",
+    "inbox_depth_p50",
+    "inbox_depth_p95",
+    "inbox_depth_p99",
+    "store_probe_batch_p50",
+    "store_probe_batch_p95",
+    "store_probe_batch_p99",
 )
 
 

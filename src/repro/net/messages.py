@@ -19,6 +19,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.obs.trace import TraceContext
+
 _MESSAGE_COUNTER = itertools.count(1)
 
 
@@ -47,6 +49,10 @@ class Envelope:
     sent_at: float = 0.0
     delivered_at: float = 0.0
     direct: bool = False
+    #: Trace propagation state (observability layer).  ``None`` unless the
+    #: engine runs with ``observability="on"``; failover re-sends carry the
+    #: original context so a re-routed answer stays in its trace.
+    trace: Optional[TraceContext] = None
 
     @property
     def kind(self) -> str:

@@ -133,6 +133,12 @@ class Transport(ABC, _TimerLedger):
     #: Registry name of the runtime (``sim`` / ``asyncio``).
     name: str = "abstract"
 
+    #: Whether spans opened on this runtime should carry wall-clock service
+    #: times.  The observability layer reads this when the engine builds its
+    #: tracer: logical-clock-only on deterministic runtimes (wall time would
+    #: break byte-identical reruns), wall-clock-enabled on concurrent ones.
+    wall_clock_spans: bool = False
+
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------

@@ -126,6 +126,11 @@ class AsyncioTransport(Transport):
 
     name = "asyncio"
 
+    #: Handlers run on a real event loop here, so spans additionally record
+    #: wall-clock service time (``Span.wall_us``) — the logical timestamps
+    #: alone cannot show where a concurrent run actually spends time.
+    wall_clock_spans = True
+
     def __init__(
         self,
         inbox_capacity: int = DEFAULT_INBOX_CAPACITY,

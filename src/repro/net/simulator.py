@@ -254,6 +254,10 @@ class SimTransport(Transport):
 
     name = "sim"
 
+    #: Spans stay logical-clock-only here: wall time in a trace would make
+    #: two reruns of the same seed produce different trace files.
+    wall_clock_spans = False
+
     def __init__(self, kernel: Optional[SimulationKernel] = None) -> None:
         self._kernel = kernel if kernel is not None else SimulationKernel()
         self._deliver: Optional[DeliverCallback] = None

@@ -1,0 +1,63 @@
+"""End-to-end observability: trace propagation + metrics instruments.
+
+The zero-dependency observability layer of the reproduction.  Enabled via
+``RJoinConfig(observability="on")``:
+
+* every :class:`~repro.net.messages.Envelope` carries a
+  :class:`TraceContext` and every delivery opens a :class:`Span`
+  (logical-clock timestamps; wall-clock service time on the asyncio
+  runtime), streamed to a bounded JSONL sink,
+* a :class:`MetricsRegistry` of counters, gauges and mergeable
+  fixed-bucket histograms records answer latency, per-hop delay, handler
+  service time, inbox depth and per-node/per-key load; the histograms fold
+  into ``metrics_summary`` as ``*_p50/_p95/_p99`` keys (result schema v8),
+* ``python -m repro.obs`` summarizes or converts a recorded trace file
+  (Chrome/Perfetto ``trace_event`` output).
+"""
+
+from repro.obs.context import Observability
+from repro.obs.export import chrome_trace_events, write_chrome_trace
+from repro.obs.instruments import (
+    HISTOGRAMS,
+    PERCENTILE_POINTS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSpec,
+    MetricsRegistry,
+    histogram_percentiles,
+)
+from repro.obs.trace import (
+    DEFAULT_MAX_SPANS,
+    OBSERVABILITY_MODES,
+    JsonlSink,
+    MemorySink,
+    Span,
+    SpanSink,
+    TraceContext,
+    Tracer,
+    load_spans,
+)
+
+__all__ = [
+    "Observability",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "HISTOGRAMS",
+    "PERCENTILE_POINTS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSpec",
+    "MetricsRegistry",
+    "histogram_percentiles",
+    "DEFAULT_MAX_SPANS",
+    "OBSERVABILITY_MODES",
+    "JsonlSink",
+    "MemorySink",
+    "Span",
+    "SpanSink",
+    "TraceContext",
+    "Tracer",
+    "load_spans",
+]

@@ -1,0 +1,10 @@
+"""Module entry point: ``python -m repro.obs``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

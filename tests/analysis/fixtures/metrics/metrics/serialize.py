@@ -4,4 +4,13 @@ SUMMARY_SCHEMA = (
     "joins",
     # VIOLATION: declared but metrics_summary never emits it.
     "stale_key",
+    # Percentile keys of the declared answer_latency histogram: these are
+    # legitimately absent from the metrics_summary dict literal (the real
+    # engine folds them in via **histogram_percentiles) and must NOT be
+    # reported as stale schema entries.
+    "answer_latency_p50",
+    "answer_latency_p95",
+    "answer_latency_p99",
+    # VIOLATION: phantom percentile key — no such histogram is declared.
+    "phantom_hist_p95",
 )

@@ -1,0 +1,11 @@
+"""Fixture histogram declaration with one schema-less entry.
+
+The real tree declares ``HistogramSpec(...)`` entries; the rule also
+accepts bare strings, which keeps this fixture dependency-free.
+"""
+
+HISTOGRAMS = (
+    "answer_latency",
+    # VIOLATION: declared but SUMMARY_SCHEMA has no ghost_histogram_p* keys.
+    "ghost_histogram",
+)

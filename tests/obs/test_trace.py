@@ -1,0 +1,266 @@
+"""Unit contract of the tracer: contexts, spans, sinks, export.
+
+The tracer is the propagation half of the observability layer: contexts
+link parent to child across messages, the span stack nests around handler
+execution, and sinks bound what a run can retain.  Everything here runs on
+a hand-held logical clock — no engine involved.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.export import chrome_trace_events, write_chrome_trace
+from repro.obs.trace import (
+    JsonlSink,
+    MemorySink,
+    Span,
+    TraceContext,
+    Tracer,
+    load_spans,
+)
+
+
+class LogicalClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, amount=1.0):
+        self.now += amount
+
+    def __call__(self):
+        return self.now
+
+
+def make_tracer(**kwargs):
+    sink = MemorySink()
+    clock = LogicalClock()
+    return Tracer(sink, clock=clock, **kwargs), sink, clock
+
+
+class TestContexts:
+    def test_new_trace_roots_and_registers_start_time(self):
+        tracer, _, clock = make_tracer()
+        clock.advance(5.0)
+        context = tracer.new_trace("pub-1")
+        assert context == TraceContext("pub-1", 1, None, 0)
+        assert tracer.trace_start("pub-1") == 5.0
+        assert tracer.traces_started == 1
+
+    def test_reopening_a_trace_keeps_the_original_start(self):
+        tracer, _, clock = make_tracer()
+        tracer.new_trace("pub-1")
+        clock.advance()
+        tracer.new_trace("pub-1")
+        assert tracer.trace_start("pub-1") == 0.0
+        assert tracer.traces_started == 1
+
+    def test_child_links_parent_and_increments_hop(self):
+        tracer, _, _ = make_tracer()
+        root = tracer.new_trace("pub-1")
+        child = tracer.child(root)
+        grandchild = tracer.child(child)
+        assert child.parent_id == root.span_id
+        assert child.trace_id == "pub-1"
+        assert child.hop == 1
+        assert grandchild.hop == 2
+        assert len({root.span_id, child.span_id, grandchild.span_id}) == 3
+
+    def test_trace_start_eviction_is_oldest_first(self):
+        tracer, _, _ = make_tracer(max_traces=2)
+        tracer.new_trace("t1")
+        tracer.new_trace("t2")
+        tracer.new_trace("t3")
+        assert tracer.trace_start("t1") is None
+        assert tracer.trace_start("t3") == 0.0
+
+    def test_max_traces_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            Tracer(MemorySink(), clock=LogicalClock(), max_traces=0)
+
+
+class TestSpans:
+    def test_span_context_manager_records_on_exit(self):
+        tracer, sink, clock = make_tracer()
+        context = tracer.new_trace("pub-1")
+        with tracer.span(context, name="publish", node="node-0") as span:
+            assert tracer.current is context
+            clock.advance(3.0)
+        assert tracer.current is None
+        assert sink.spans == [span]
+        assert span.duration == 3.0
+        assert span.wall_us == 0.0  # deterministic runtime: no wall clock
+
+    def test_begin_end_pair_matches_context_manager(self):
+        tracer, sink, clock = make_tracer()
+        context = tracer.new_trace("pub-1")
+        span = tracer.begin_span(context, name="publish", node="node-0")
+        assert tracer.current is context
+        clock.advance(2.0)
+        tracer.end_span(span)
+        assert tracer.current is None
+        assert sink.spans == [span]
+        assert span.end == 2.0
+
+    def test_nested_spans_restore_the_outer_context(self):
+        tracer, sink, _ = make_tracer()
+        outer = tracer.new_trace("pub-1")
+        with tracer.span(outer, name="publish", node="node-0"):
+            inner = tracer.child(outer)
+            with tracer.span(inner, name="IndexTuple", node="node-3"):
+                assert tracer.current is inner
+            assert tracer.current is outer
+        # Inner finished (and was recorded) first.
+        assert [s.name for s in sink.spans] == ["IndexTuple", "publish"]
+
+    def test_span_records_even_when_the_handler_raises(self):
+        tracer, sink, _ = make_tracer()
+        context = tracer.new_trace("pub-1")
+        with pytest.raises(RuntimeError):
+            with tracer.span(context, name="publish", node="node-0"):
+                raise RuntimeError("handler blew up")
+        assert len(sink.spans) == 1
+        assert tracer.current is None
+
+    def test_wall_clock_tracer_records_service_time(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, clock=LogicalClock(), wall_clock=True)
+        context = tracer.new_trace("pub-1")
+        with tracer.span(context, name="publish", node="node-0"):
+            pass
+        assert sink.spans[0].wall_us > 0.0
+
+
+class TestSinks:
+    def test_memory_sink_bounds_and_counts_drops(self):
+        sink = MemorySink(max_spans=2)
+        tracer = Tracer(sink, clock=LogicalClock())
+        for index in range(4):
+            context = tracer.new_trace(f"t{index}")
+            with tracer.span(context, name="op", node="n"):
+                pass
+        assert len(sink.spans) == 2
+        assert sink.recorded == 2
+        assert sink.dropped == 2
+
+    def test_max_spans_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            MemorySink(max_spans=0)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        tracer = Tracer(sink, clock=LogicalClock())
+        context = tracer.new_trace("pub-1")
+        with tracer.span(context, name="publish", node="node-0"):
+            pass
+        sink.close()
+        loaded = load_spans(str(path))
+        assert len(loaded) == 1
+        assert loaded[0].trace_id == "pub-1"
+        assert loaded[0].name == "publish"
+
+    def test_closed_jsonl_sink_rejects_spans(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "trace.jsonl"))
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ObservabilityError, match="closed"):
+            sink.record(
+                Span(
+                    trace_id="t",
+                    span_id=1,
+                    parent_id=None,
+                    name="op",
+                    node="n",
+                    start=0.0,
+                    end=0.0,
+                    sent_at=0.0,
+                    hops=0,
+                    hop=0,
+                )
+            )
+
+    def test_memory_sink_write_jsonl_matches_load_spans(self, tmp_path):
+        sink = MemorySink()
+        tracer = Tracer(sink, clock=LogicalClock())
+        context = tracer.new_trace("pub-1")
+        with tracer.span(context, name="publish", node="node-0"):
+            pass
+        path = tmp_path / "dump.jsonl"
+        assert sink.write_jsonl(str(path)) == 1
+        assert [s.to_dict() for s in load_spans(str(path))] == [
+            s.to_dict() for s in sink.spans
+        ]
+
+    def test_load_spans_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"trace_id": "t"}\n')
+        with pytest.raises(ObservabilityError, match="malformed trace line"):
+            load_spans(str(path))
+
+    def test_span_dict_roundtrip(self):
+        span = Span(
+            trace_id="t",
+            span_id=7,
+            parent_id=3,
+            name="op",
+            node="n",
+            start=1.0,
+            end=2.0,
+            sent_at=0.5,
+            hops=2,
+            hop=1,
+            wall_us=12.5,
+        )
+        assert Span.from_dict(span.to_dict()).to_dict() == span.to_dict()
+
+
+class TestChromeExport:
+    def _spans(self):
+        return [
+            Span(
+                trace_id="pub-1",
+                span_id=1,
+                parent_id=None,
+                name="publish",
+                node="node-0",
+                start=0.0,
+                end=2.0,
+                sent_at=0.0,
+                hops=0,
+                hop=0,
+            ),
+            Span(
+                trace_id="pub-1",
+                span_id=2,
+                parent_id=1,
+                name="IndexTuple",
+                node="node-3",
+                start=1.0,
+                end=1.0,
+                sent_at=0.0,
+                hops=2,
+                hop=1,
+            ),
+        ]
+
+    def test_events_carry_nodes_as_threads_and_span_metadata(self):
+        events = chrome_trace_events(self._spans())
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["args"]["name"] for e in meta} == {"node-0", "node-3"}
+        assert len(complete) == 2
+        by_name = {e["name"]: e for e in complete}
+        assert by_name["IndexTuple"]["args"]["parent_id"] == 1
+        # Zero-duration spans stay clickable.
+        assert by_name["IndexTuple"]["dur"] == 1.0
+
+    def test_write_chrome_trace_emits_trace_events_object(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(self._spans(), str(path))
+        payload = json.loads(path.read_text())
+        assert count == len(payload["traceEvents"])
+        assert {e["ph"] for e in payload["traceEvents"]} == {"M", "X"}
